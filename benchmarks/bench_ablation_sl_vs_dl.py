@@ -1,0 +1,91 @@
+"""Ablation — the §7.5 SL/DL design choice.
+
+The paper's deployment rule sends small forward-only updates through
+SL and everything else through DL.  This ablation sweeps update
+complexity on ring topologies — detour length (forward-only) and a
+reversal scenario (backward segments) — and shows the crossover that
+motivates the rule:
+
+* short forward detours: SL wins (no segmentation overhead);
+* segmented updates with backward segments: DL wins (parallel
+  segments, pre-installed interiors).
+
+It also validates that the automatic strategy ("p4update") never does
+meaningfully worse than the better of the two forced modes.
+"""
+
+import numpy as np
+from benchutils import print_header
+
+from repro.harness.experiment import run_many
+from repro.harness.scenarios import UpdateScenario
+from repro.params import SimParams
+from repro.topo import fig1_topology, ring_topology
+from repro.topo.synthetic import FIG1_NEW_PATH, FIG1_OLD_PATH
+from repro.traffic.flows import Flow
+
+RUNS = 15
+
+
+def forward_detour_scenario(detour_len: int):
+    """Ring flow rerouted over a detour of ``detour_len`` hops."""
+    n = detour_len + 4
+    topo = ring_topology(n, latency_ms=5.0)
+    topo.set_controller("n0")
+    short = ["n0", f"n{n-1}", f"n{n-2}"]
+    long = [f"n{i}" for i in range(n - 1)]          # n0, n1, ..., n(n-2)
+    flow = Flow.between("n0", f"n{n-2}", size=1.0, old_path=short, new_path=long)
+    return UpdateScenario(topo, [flow], f"forward detour {detour_len}")
+
+
+def fig1_scenario(_seed):
+    flow = Flow.between(
+        "v0", "v7", size=1.0,
+        old_path=list(FIG1_OLD_PATH), new_path=list(FIG1_NEW_PATH),
+    )
+    return UpdateScenario(fig1_topology(), [flow], "fig1")
+
+
+def sweep():
+    params = SimParams(seed=0).with_dionysus_install_delay()
+    rows = []
+    for detour in (2, 4, 8):
+        scenario_factory = lambda seed, d=detour: forward_detour_scenario(d)
+        means = {}
+        for system in ("p4update-sl", "p4update-dl", "p4update"):
+            results = run_many(system, scenario_factory, params, runs=RUNS)
+            assert all(r.completed for r in results), system
+            means[system] = float(
+                np.mean([r.total_update_time_ms for r in results])
+            )
+        rows.append((f"forward detour x{detour}", means))
+    means = {}
+    for system in ("p4update-sl", "p4update-dl", "p4update"):
+        results = run_many(system, fig1_scenario, params, runs=RUNS)
+        assert all(r.completed for r in results), system
+        means[system] = float(np.mean([r.total_update_time_ms for r in results]))
+    rows.append(("fig1 (backward segment)", means))
+    return rows
+
+
+def test_sl_dl_crossover(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header("Ablation — SL vs DL across update complexity (§7.5)")
+    for label, means in rows:
+        auto_pick = "SL" if means["p4update"] <= (
+            means["p4update-sl"] + means["p4update-dl"]
+        ) / 2 and means["p4update-sl"] < means["p4update-dl"] else "DL"
+        print(
+            f"{label:26s} SL={means['p4update-sl']:8.1f}  "
+            f"DL={means['p4update-dl']:8.1f}  auto={means['p4update']:8.1f}"
+        )
+
+    by_label = dict(rows)
+    # Backward-segmented updates: DL must win clearly.
+    fig1 = by_label["fig1 (backward segment)"]
+    assert fig1["p4update-dl"] < fig1["p4update-sl"]
+    # The automatic strategy must track the better mode within 10%.
+    for label, means in rows:
+        best = min(means["p4update-sl"], means["p4update-dl"])
+        assert means["p4update"] <= best * 1.10, (label, means)

@@ -1,0 +1,111 @@
+"""Figure 3 (quantified) — fast-forwarding over queued updates.
+
+Fig. 3 illustrates that when configurations V2..Vn arrive in rapid
+succession, P4Update jumps straight to Vn while prior systems execute
+every intermediate update.  This bench issues k back-to-back updates
+(alternating ring arcs) and measures the time until the *final*
+configuration is established:
+
+* P4Update: roughly constant in k (stale chains are rejected by the
+  version check, nodes skip to the newest UIM);
+* ez-Segway: grows linearly in k (the controller serializes, §4.2).
+"""
+
+import numpy as np
+from benchutils import print_header
+
+from repro.core.messages import UpdateType
+from repro.harness.baselines_build import build_ezsegway_network
+from repro.harness.build import build_p4update_network
+from repro.harness.experiment import path_establishment_time
+from repro.params import SimParams
+from repro.topo.graph import Topology
+from repro.traffic.flows import Flow
+
+DEPTHS = (1, 2, 4, 8)
+RUNS = 6
+
+# Three parallel 3-hop rails between s and t: every queued update can
+# target a configuration different from its predecessor.
+RAILS = [
+    ["s", f"x{i}", f"y{i}", "t"] for i in range(3)
+]
+
+
+def rail_topology() -> Topology:
+    topo = Topology("rails")
+    topo.add_node("s")
+    topo.add_node("t")
+    for i in range(3):
+        topo.add_node(f"x{i}")
+        topo.add_node(f"y{i}")
+        topo.add_edge("s", f"x{i}", latency_ms=2.0)
+        topo.add_edge(f"x{i}", f"y{i}", latency_ms=2.0)
+        topo.add_edge(f"y{i}", "t", latency_ms=2.0)
+    topo.set_controller("s")
+    return topo
+
+
+def targets_for(depth: int):
+    """V2..V(depth+1): alternate rails 1 and 2 (never back to rail 0)."""
+    return [RAILS[1 + (i % 2)] for i in range(depth)]
+
+
+def run_p4update(seed: int, depth: int) -> float:
+    params = SimParams(seed=seed).with_dionysus_install_delay()
+    dep = build_p4update_network(rail_topology(), params=params)
+    flow = Flow.between("s", "t", size=1.0, old_path=list(RAILS[0]))
+    dep.install_flow(flow)
+    for target in targets_for(depth):
+        dep.controller.update_flow(flow.flow_id, list(target), UpdateType.SINGLE)
+    dep.run()
+    final = targets_for(depth)[-1]
+    established = path_establishment_time(
+        dep.network.trace, flow.flow_id, list(final), list(RAILS[0])
+    )
+    assert established != float("inf"), ("p4update", seed, depth)
+    return established
+
+
+def run_ezsegway(seed: int, depth: int) -> float:
+    params = SimParams(seed=seed).with_dionysus_install_delay()
+    dep = build_ezsegway_network(rail_topology(), params=params)
+    flow = Flow.between("s", "t", size=1.0, old_path=list(RAILS[0]))
+    dep.install_flow(flow)
+    for target in targets_for(depth):
+        dep.controller.update_flow(flow.flow_id, list(target))
+    dep.run()
+    final = targets_for(depth)[-1]
+    established = path_establishment_time(
+        dep.network.trace, flow.flow_id, list(final), list(RAILS[0])
+    )
+    assert established != float("inf"), ("ezsegway", seed, depth)
+    return established
+
+
+def sweep():
+    rows = []
+    for depth in DEPTHS:
+        p4 = [run_p4update(seed, depth) for seed in range(RUNS)]
+        ez = [run_ezsegway(seed, depth) for seed in range(RUNS)]
+        rows.append((depth, float(np.mean(p4)), float(np.mean(ez))))
+    return rows
+
+
+def test_fastforward_depth(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header("Fig. 3 (quantified) — time to the FINAL configuration "
+                 f"vs number of queued updates ({RUNS} runs)")
+    print(f"{'k':>3s} {'p4update':>10s} {'ezsegway':>10s} {'ratio':>7s}")
+    for depth, p4, ez in rows:
+        print(f"{depth:3d} {p4:8.1f}ms {ez:8.1f}ms {ez / p4:6.1f}x")
+
+    by_depth = {d: (p4, ez) for d, p4, ez in rows}
+    # P4Update stays roughly flat: depth 8 within 2x of depth 1.
+    assert by_depth[8][0] < by_depth[1][0] * 2.0
+    # ez-Segway grows clearly with depth.
+    assert by_depth[8][1] > by_depth[1][1] * 3.0
+    # And the gap widens monotonically in k.
+    ratios = [ez / p4 for _, p4, ez in rows]
+    assert ratios[-1] > ratios[0] * 2

@@ -1,0 +1,41 @@
+"""Figure 4 — §4.2 'Maintain Consistency, Delay Updates?'.
+
+Regenerates the CDF of the completion time of update U3, issued while
+the complex update U2 is still ongoing, over 30 runs on the six-node
+network.  P4Update fast-forwards to U3; ez-Segway waits for U2.
+
+Paper's result: "P4Update is about 4x faster than ez-Segway in this
+setting."
+"""
+
+import numpy as np
+from benchutils import print_cdf_series, print_header
+
+from repro.harness.fig_experiments import run_fig4
+from repro.params import SimParams
+
+RUNS = 30
+
+
+def run_cdf():
+    times = {"p4update": [], "ezsegway": []}
+    for seed in range(RUNS):
+        params = SimParams(seed=seed).with_dionysus_install_delay()
+        for system in times:
+            result = run_fig4(system, params=params)
+            assert result.completed, (system, seed)
+            assert result.consistency_violations == 0, (system, seed)
+            times[system].append(result.u3_completion_ms)
+    return times
+
+
+def test_fig4(benchmark):
+    times = benchmark.pedantic(run_cdf, rounds=1, iterations=1)
+
+    print_header("Fig. 4 — two sequential updates (U3 issued during U2), 30 runs")
+    for system, samples in times.items():
+        print_cdf_series(system, samples)
+    speedup = np.mean(times["ezsegway"]) / np.mean(times["p4update"])
+    print(f"\nmeasured speedup: {speedup:.1f}x   (paper: about 4x)")
+
+    assert speedup > 2.0, f"expected a clear fast-forward win, got {speedup:.2f}x"

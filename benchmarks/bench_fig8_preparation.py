@@ -1,0 +1,134 @@
+"""Figure 8 — §9.3 control plane preparation time.
+
+Measures real wall-clock computation time of the control-plane
+preparation for 1000 updates on B4, Internet2, AttMpls and Chinanet,
+and reports the ratio DL-P4Update / ez-Segway:
+
+* Fig. 8a — without congestion freedom: distance labeling +
+  segmentation (P4Update) vs segmentation + in_loop classification +
+  order encoding (ez-Segway).  Paper ratio: 0.68-0.73.
+* Fig. 8b — with congestion freedom: P4Update adds nothing (the
+  dependency resolution lives in the data plane); ez-Segway must also
+  build the centralized inter-flow dependency graph with static
+  priorities.  Paper ratio: 0.002-0.02 (50x-500x).
+"""
+
+import time
+
+import numpy as np
+from benchutils import print_header
+
+from repro.baselines.ezsegway import congestion_dependency_graph, prepare_ez_update
+from repro.core.messages import UpdateType
+from repro.harness.build import build_p4update_network
+from repro.harness.scenarios import multi_flow_scenario
+from repro.params import SimParams
+from repro.topo import (
+    attmpls_topology,
+    b4_topology,
+    chinanet_topology,
+    internet2_topology,
+)
+
+TOPOLOGIES = [
+    ("B4 (12, 19)", b4_topology),
+    ("Internet2 (16, 26)", internet2_topology),
+    ("AttMpls (25, 56)", attmpls_topology),
+    ("Chinanet (38, 62)", chinanet_topology),
+]
+
+UPDATES = 1000
+
+
+def _prep_workload(topo_factory):
+    """A deployment plus flows to prepare updates for."""
+    topo = topo_factory()
+    scenario = multi_flow_scenario(topo, np.random.default_rng(0))
+    deployment = build_p4update_network(topo, params=SimParams(seed=0))
+    for flow in scenario.flows:
+        deployment.install_flow(flow)
+    # Warm the controller's NIB port cache (not part of per-update cost).
+    first = scenario.flows[0]
+    deployment.controller.prepare_update(
+        first.flow_id, list(first.new_path), UpdateType.DUAL
+    )
+    return topo, scenario, deployment
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time: robust against transient CPU contention."""
+    return min(fn() for _ in range(repeats))
+
+
+def _time_p4update(deployment, flows, updates=UPDATES) -> float:
+    def once() -> float:
+        start = time.perf_counter()
+        for i in range(updates):
+            flow = flows[i % len(flows)]
+            deployment.controller.prepare_update(
+                flow.flow_id, list(flow.new_path), UpdateType.DUAL,
+                congestion_aware=False,
+            )
+        return time.perf_counter() - start
+
+    return _best_of(once)
+
+
+def _time_ez(flows, updates=UPDATES) -> float:
+    def once() -> float:
+        start = time.perf_counter()
+        for i in range(updates):
+            flow = flows[i % len(flows)]
+            prepare_ez_update(
+                flow, list(flow.old_path), list(flow.new_path), update_id=i + 1
+            )
+        return time.perf_counter() - start
+
+    return _best_of(once)
+
+
+def _time_ez_congestion(topo, flows, updates=UPDATES) -> float:
+    capacities = {frozenset((e.a, e.b)): e.capacity for e in topo.edges}
+    rounds = 20
+    start = time.perf_counter()
+    for _ in range(rounds):
+        congestion_dependency_graph(flows, capacities)
+    per_recompute = (time.perf_counter() - start) / rounds
+    # One dependency-graph recomputation per update (the graph must
+    # reflect the current flow placement when each update is issued).
+    return per_recompute * updates + _time_ez(flows, updates)
+
+
+def collect_ratios():
+    rows = []
+    for label, topo_factory in TOPOLOGIES:
+        topo, scenario, deployment = _prep_workload(topo_factory)
+        flows = scenario.flows
+        t_p4 = _time_p4update(deployment, flows)
+        t_ez = _time_ez(flows)
+        t_ez_cong = _time_ez_congestion(topo, flows)
+        rows.append((label, t_p4, t_ez, t_ez_cong))
+    return rows
+
+
+def test_fig8_preparation_ratio(benchmark):
+    rows = benchmark.pedantic(collect_ratios, rounds=1, iterations=1)
+
+    print_header("Fig. 8a — preparation time ratio DL-P4Update / ez-Segway "
+                 f"(no congestion freedom, {UPDATES} updates)")
+    for label, t_p4, t_ez, _ in rows:
+        print(f"{label:22s} p4={t_p4*1e3:8.1f} ms  ez={t_ez*1e3:8.1f} ms  "
+              f"ratio={t_p4/t_ez:5.2f}   (paper: 0.68-0.73)")
+
+    print_header("Fig. 8b — with congestion freedom")
+    for label, t_p4, _, t_ez_cong in rows:
+        print(f"{label:22s} p4={t_p4*1e3:8.1f} ms  ez={t_ez_cong*1e3:8.1f} ms  "
+              f"ratio={t_p4/t_ez_cong:7.4f}   (paper: 0.002-0.02)")
+
+    for label, t_p4, t_ez, t_ez_cong in rows:
+        ratio_a = t_p4 / t_ez
+        ratio_b = t_p4 / t_ez_cong
+        assert ratio_a < 1.0, f"{label}: P4Update prep must be cheaper ({ratio_a:.2f})"
+        assert ratio_b < 0.2, (
+            f"{label}: congestion freedom must collapse the ratio ({ratio_b:.4f})"
+        )

@@ -1,0 +1,96 @@
+"""Message-overhead comparison (the paper's scalability argument, §1,
+§10, §11 "Reducing the Number of Control Plane Messages").
+
+Counts the messages each system sends to complete the Fig. 1 single
+flow update: P4Update touches the controller once per switch (UIMs)
+plus one feedback message, coordinating via data-plane UNMs; Central
+crosses the control channel twice per node update (command + ack) over
+several dependency rounds.
+"""
+
+from benchutils import print_header
+
+from repro.consistency import LiveChecker
+from repro.core.messages import UpdateType
+from repro.harness.analysis import count_messages
+from repro.harness.baselines_build import build_central_network, build_ezsegway_network
+from repro.harness.build import build_p4update_network
+from repro.params import SimParams
+from repro.topo import fig1_topology
+from repro.topo.synthetic import FIG1_NEW_PATH, FIG1_OLD_PATH
+from repro.traffic.flows import Flow
+
+
+def run_p4update(update_type, compact=False):
+    dep = build_p4update_network(fig1_topology(), params=SimParams(seed=0))
+    flow = Flow.between("v0", "v7", size=1.0, old_path=list(FIG1_OLD_PATH))
+    dep.install_flow(flow)
+    if compact:
+        dep.controller.compact_update(flow.flow_id, list(FIG1_NEW_PATH), update_type)
+    else:
+        dep.controller.update_flow(flow.flow_id, list(FIG1_NEW_PATH), update_type)
+    dep.run()
+    assert dep.controller.update_complete(flow.flow_id)
+    return count_messages(dep.network.trace), None
+
+
+def run_ezsegway():
+    dep = build_ezsegway_network(fig1_topology(), params=SimParams(seed=0))
+    flow = Flow.between("v0", "v7", size=1.0, old_path=list(FIG1_OLD_PATH))
+    dep.install_flow(flow)
+    dep.controller.update_flow(flow.flow_id, list(FIG1_NEW_PATH))
+    dep.run()
+    assert dep.controller.update_complete(flow.flow_id)
+    return count_messages(dep.network.trace), None
+
+
+def run_central():
+    dep = build_central_network(fig1_topology(), params=SimParams(seed=0))
+    flow = Flow.between("v0", "v7", size=1.0, old_path=list(FIG1_OLD_PATH))
+    dep.install_flow(flow)
+    dep.controller.update_flow(flow.flow_id, list(FIG1_NEW_PATH))
+    dep.run()
+    assert dep.controller.update_complete(flow.flow_id)
+    return count_messages(dep.network.trace), dep.controller.rounds_executed
+
+
+def collect():
+    return {
+        "p4update-sl": run_p4update(UpdateType.SINGLE),
+        "p4update-dl": run_p4update(UpdateType.DUAL),
+        "p4u-compact": run_p4update(UpdateType.DUAL, compact=True),
+        "ezsegway": run_ezsegway(),
+        "central": run_central(),
+    }
+
+
+def test_message_overhead(benchmark):
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    print_header("Message overhead — Fig. 1 single-flow update")
+    for system, (stats, rounds) in results.items():
+        suffix = f"  rounds={rounds}" if rounds is not None else ""
+        print(stats.row(system) + suffix)
+        detail = "  ".join(f"{k}={v}" for k, v in sorted(stats.by_type.items()))
+        print(f"{'':14s} {detail}")
+
+    p4_sl, _ = results["p4update-sl"]
+    p4_dl, _ = results["p4update-dl"]
+    compact, _ = results["p4u-compact"]
+    central, rounds = results["central"]
+
+    # §11 compact mode: UIMs only to v7, v4, v2.
+    assert compact.by_type.get("UIM") == 3
+    assert compact.control_plane < p4_dl.control_plane
+
+    # P4Update: exactly one UIM per new-path switch + one UFM.
+    assert p4_sl.by_type.get("UIM") == len(FIG1_NEW_PATH)
+    assert p4_sl.by_type.get("UFM") == 1
+    # Central crosses the control plane at least twice per changed node
+    # (command + ack) — strictly more control messages than P4Update.
+    assert central.control_plane > p4_sl.control_plane
+    assert rounds is not None and rounds >= 2
+    # DL trades extra data-plane notifications for parallelism.
+    assert p4_dl.data_plane >= p4_sl.data_plane
+    # Central needs no data-plane coordination at all.
+    assert central.data_plane == 0

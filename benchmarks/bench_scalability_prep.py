@@ -1,0 +1,89 @@
+"""Scalability — control-plane preparation cost vs topology size.
+
+Extends Fig. 8's takeaway ("the P4Update control plane computation is
+scalable in terms of runtime w.r.t. topology size"): preparation time
+per update is measured across the four WAN topologies, and the growth
+of P4Update's cost with network size must stay roughly linear in path
+length — while ez-Segway's congestion-aware preparation grows with the
+number of flows times links.
+"""
+
+import time
+
+import numpy as np
+from benchutils import print_header
+
+from repro.baselines.ezsegway import congestion_dependency_graph
+from repro.core.messages import UpdateType
+from repro.harness.build import build_p4update_network
+from repro.harness.scenarios import multi_flow_scenario
+from repro.params import SimParams
+from repro.topo import (
+    attmpls_topology,
+    b4_topology,
+    chinanet_topology,
+    internet2_topology,
+)
+
+TOPOLOGIES = [
+    ("B4", b4_topology, 12),
+    ("Internet2", internet2_topology, 16),
+    ("AttMpls", attmpls_topology, 25),
+    ("Chinanet", chinanet_topology, 38),
+]
+
+
+def measure():
+    rows = []
+    for label, factory, n in TOPOLOGIES:
+        topo = factory()
+        scenario = multi_flow_scenario(topo, np.random.default_rng(0))
+        deployment = build_p4update_network(topo, params=SimParams(seed=0))
+        for flow in scenario.flows:
+            deployment.install_flow(flow)
+        flows = scenario.flows
+        for flow in flows:  # warm the NIB port cache for every flow
+            deployment.controller.prepare_update(
+                flow.flow_id, list(flow.new_path), UpdateType.DUAL
+            )
+        reps = 300
+        best = float("inf")
+        for _ in range(3):       # best-of-3: robust to CPU contention
+            start = time.perf_counter()
+            for i in range(reps):
+                flow = flows[i % len(flows)]
+                deployment.controller.prepare_update(
+                    flow.flow_id, list(flow.new_path), UpdateType.DUAL
+                )
+            best = min(best, time.perf_counter() - start)
+        per_update_us = best / reps * 1e6
+
+        capacities = {frozenset((e.a, e.b)): e.capacity for e in topo.edges}
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(10):
+                congestion_dependency_graph(flows, capacities)
+            best = min(best, time.perf_counter() - start)
+        graph_us = best / 10 * 1e6
+        rows.append((label, n, len(flows), per_update_us, graph_us))
+    return rows
+
+
+def test_prep_scales_with_topology_size(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print_header("Scalability — preparation cost vs topology size")
+    print(f"{'topology':12s} {'nodes':>5s} {'flows':>5s} "
+          f"{'p4 prep/update':>15s} {'ez congestion graph':>20s}")
+    for label, n, flows, p4_us, graph_us in rows:
+        print(f"{label:12s} {n:5d} {flows:5d} {p4_us:12.1f} us {graph_us:17.1f} us")
+
+    # P4Update's per-update prep must stay within a small constant
+    # factor across a 3x growth in topology size (path lengths grow
+    # slowly; allow headroom for longer paths and timer noise).
+    per_update = [p4 for _, _, _, p4, _ in rows]
+    assert max(per_update) < 8 * min(per_update), per_update
+    # The congestion graph cost must dwarf P4Update's prep everywhere.
+    for label, _, _, p4_us, graph_us in rows:
+        assert graph_us > 5 * p4_us, (label, p4_us, graph_us)

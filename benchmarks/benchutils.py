@@ -1,0 +1,30 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every ``bench_fig*.py`` module regenerates one table/figure of the
+paper: it runs the experiment, prints the same rows/series the paper
+reports (plus the paper's numbers for comparison), and asserts the
+*shape* — who wins, roughly by how much — not absolute milliseconds
+(our substrate is an event simulator, not the authors' testbed).
+"""
+
+from __future__ import annotations
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def print_cdf_series(label: str, samples) -> None:
+    from repro.harness.metrics import cdf_points, summarize
+
+    summary = summarize(samples)
+    print(summary.row(label))
+    points = cdf_points(samples)
+    # Print a compact CDF: every 10th percentile.
+    n = len(points)
+    picks = [points[min(n - 1, int(q * n))] for q in (0.1, 0.25, 0.5, 0.75, 0.9)]
+    series = "  ".join(f"({v:.0f}ms,{p:.2f})" for v, p in picks)
+    print(f"{'':28s} CDF: {series}")

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""The §4.1 story — why local verification matters (paper Fig. 2).
+
+The controller deploys configuration (c) while the messages of the
+earlier configuration (b) are still stuck in the network.  Probe
+packets stream from v0 at 125 pps with TTL 64.
+
+* ez-Segway applies whatever arrives: the mixed state contains the
+  forwarding loop v3 -> v1 -> v2 -> v3; packets circle until the
+  delayed (b) finally lands, and 64-hop TTLs expire after ~21 laps.
+* P4Update's switches verify version numbers and egress distances
+  locally: the update applies in a provably safe order, the late (b)
+  is recognised as outdated and rejected — every packet is delivered
+  exactly once.
+
+Run:  python examples/inconsistent_updates.py
+"""
+
+from repro.harness.fig_experiments import run_fig2
+from repro.harness.scenarios import InconsistentUpdateScenario
+from repro.params import SimParams
+
+
+def main() -> None:
+    scenario = InconsistentUpdateScenario()
+    print("initial (a):", " -> ".join(scenario.config_a))
+    print("update  (b):", " -> ".join(scenario.config_b), "   [delayed in flight]")
+    print("update  (c):", " -> ".join(scenario.config_c))
+    print()
+
+    for system in ("ezsegway", "p4update"):
+        result = run_fig2(system, scenario=scenario, params=SimParams(seed=1))
+        delivered = {o.seq for o in result.delivered_at_v4}
+        print(f"== {system} ==")
+        print(f"  probes sent:            {result.probes_sent}")
+        print(f"  seqs seen >1x at v1:    {len(result.duplicates_at_v1)}"
+              f"   (looping packets)")
+        if result.duplicates_at_v1:
+            worst = max(result.duplicates_at_v1.values())
+            print(f"  worst packet circled:   {worst} times")
+        print(f"  loop window:            {result.loop_window_ms:.0f} ms")
+        print(f"  TTL-expired losses:     {result.ttl_losses}")
+        print(f"  delivered at v4:        {len(delivered)}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Pure-Python reproduction of P4Update (CoNEXT 2021).
+
+The package is organised as a stack:
+
+``repro.sim``
+    Deterministic discrete-event simulator (the Mininet substitute).
+``repro.p4``
+    Behavioural model of a P4 pipeline (the BMv2 substitute).
+``repro.topo``
+    Network topologies used in the paper's evaluation.
+``repro.traffic``
+    Gravity-model traffic and flow/path generation.
+``repro.consistency``
+    Blackhole / loop / congestion freedom checkers.
+``repro.core``
+    The paper's contribution: SL-/DL-P4Update, local verification,
+    the data-plane congestion scheduler, controller and switch agents.
+``repro.baselines``
+    Central (dependency-graph rounds) and ez-Segway comparators.
+``repro.harness``
+    Scenario builders, experiment runner and metrics that regenerate
+    the paper's figures.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,169 @@
+"""Checkers for the three consistency properties of paper §5.
+
+* **blackhole freedom** — every packet arriving at a switch has a
+  matching forwarding rule: walking from each flow's ingress never
+  reaches a rule-less non-egress node;
+* **loop freedom** — the per-flow forwarding graph reachable from the
+  ingress has no cycle;
+* **congestion freedom** — per link, the sizes of flows currently
+  routed over it sum to at most the link's capacity.
+
+:class:`LiveChecker` subscribes to a :class:`~repro.sim.trace.Trace`
+and re-validates the affected property after every rule change, which
+is how the property-based tests assert the paper's theorems at every
+event instant rather than only at convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.consistency.state import ForwardingState
+from repro.sim.trace import KIND_RULE_CHANGE, Trace
+
+
+@dataclass
+class Violation:
+    """One detected consistency violation."""
+
+    time: float
+    kind: str           # blackhole | loop | congestion
+    flow_id: Optional[int]
+    detail: str
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one full-state check."""
+
+    ok: bool
+    violations: list[Violation] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def check_blackhole_freedom(
+    state: ForwardingState, time: float = 0.0
+) -> CheckResult:
+    """Walk every flow from each ingress; flag rule-less intermediate nodes."""
+    violations = []
+    for flow_id in state.flow_ids():
+        for ingress in state.ingresses(flow_id):
+            path, outcome = state.walk(flow_id, ingress=ingress)
+            if outcome == "blackhole":
+                violations.append(
+                    Violation(
+                        time=time,
+                        kind="blackhole",
+                        flow_id=flow_id,
+                        detail=f"no rule at {path[-1]!r} (walked {path})",
+                    )
+                )
+    return CheckResult(ok=not violations, violations=violations)
+
+
+def check_loop_freedom(state: ForwardingState, time: float = 0.0) -> CheckResult:
+    """Flag flows whose ingress-reachable forwarding graph cycles."""
+    violations = []
+    for flow_id in state.flow_ids():
+        for ingress in state.ingresses(flow_id):
+            path, outcome = state.walk(flow_id, ingress=ingress)
+            if outcome == "loop":
+                violations.append(
+                    Violation(
+                        time=time,
+                        kind="loop",
+                        flow_id=flow_id,
+                        detail=f"cycle via {path[-1]!r} (walked {path})",
+                    )
+                )
+    return CheckResult(ok=not violations, violations=violations)
+
+
+def check_congestion_freedom(
+    state: ForwardingState, time: float = 0.0
+) -> CheckResult:
+    """Sum deliverable flows' sizes per *directed* link use.
+
+    Capacity is modelled per direction (each node reserves on its own
+    outgoing port, which is what makes the paper's §7.4 scheduler a
+    purely local decision); the configured capacity of the undirected
+    link applies to each direction independently.
+    """
+    load: dict[tuple[str, str], float] = {}
+    for flow_id in state.flow_ids():
+        _, _, size = state.flow_info(flow_id)
+        for a, b in state.active_edges(flow_id):
+            load[(a, b)] = load.get((a, b), 0.0) + size
+    violations = []
+    for (a, b), used in sorted(load.items()):
+        capacity = state.capacity(a, b)
+        if used > capacity + 1e-9:
+            violations.append(
+                Violation(
+                    time=time,
+                    kind="congestion",
+                    flow_id=None,
+                    detail=f"link {a}->{b} carries {used:.3f} > capacity {capacity:.3f}",
+                )
+            )
+    return CheckResult(ok=not violations, violations=violations)
+
+
+def check_all(state: ForwardingState, time: float = 0.0) -> CheckResult:
+    violations = []
+    for checker in (
+        check_blackhole_freedom,
+        check_loop_freedom,
+        check_congestion_freedom,
+    ):
+        violations.extend(checker(state, time).violations)
+    return CheckResult(ok=not violations, violations=violations)
+
+
+class LiveChecker:
+    """Re-checks consistency after every traced rule change.
+
+    Blackhole checking during a *fresh install* is deliberately scoped:
+    before a flow's first complete path exists there is trivially "a
+    blackhole" on the walk, which the paper does not count (no packets
+    are being sent on a not-yet-established flow).  A flow therefore
+    only participates in blackhole checks once it has been deliverable
+    at least once (``armed``).  Loop and congestion checks always apply.
+    """
+
+    def __init__(self, state: ForwardingState, trace: Trace) -> None:
+        self.state = state
+        self.violations: list[Violation] = []
+        self._armed: set[int] = set()
+        trace.subscribe(self._on_event)
+
+    def _on_event(self, event) -> None:
+        if event.kind != KIND_RULE_CHANGE:
+            return
+        time = event.time
+        loops = check_loop_freedom(self.state, time)
+        self.violations.extend(loops.violations)
+        congestion = check_congestion_freedom(self.state, time)
+        self.violations.extend(congestion.violations)
+        for flow_id in self.state.flow_ids():
+            for ingress in self.state.ingresses(flow_id):
+                key = (flow_id, ingress)
+                _, outcome = self.state.walk(flow_id, ingress=ingress)
+                if outcome == "delivered":
+                    self._armed.add(key)
+                elif outcome == "blackhole" and key in self._armed:
+                    self.violations.append(
+                        Violation(
+                            time=time,
+                            kind="blackhole",
+                            flow_id=flow_id,
+                            detail=f"established path from {ingress!r} lost",
+                        )
+                    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations

@@ -1,0 +1,96 @@
+"""Waypoint traversal checking (the paper's future-work direction in
+§12, building on [4, 5, 55]).
+
+A waypoint policy requires every packet of a flow to pass through a
+designated node (firewall, scrubber, ...).  This module provides:
+
+* static checking — does the current forwarding state route a flow
+  through its waypoint(s)?
+* per-packet checking — given probe hop logs (e.g. from a Fig.-2-style
+  run), did every *packet* traverse the waypoint, even mid-update?
+
+The paper's 2-phase-commit integration (§11) is what makes waypoint
+policies updatable safely: per-packet consistency implies waypoint
+traversal is preserved whenever both the old and the new path satisfy
+the policy.  Plain SL/DL updates only preserve the policy when every
+transient mixed path happens to contain the waypoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.consistency.state import ForwardingState
+
+
+@dataclass
+class WaypointPolicy:
+    """One flow's required waypoint set (all must be traversed)."""
+
+    flow_id: int
+    waypoints: frozenset
+
+    @classmethod
+    def require(cls, flow_id: int, *waypoints: str) -> "WaypointPolicy":
+        if not waypoints:
+            raise ValueError("a waypoint policy needs at least one waypoint")
+        return cls(flow_id=flow_id, waypoints=frozenset(waypoints))
+
+
+@dataclass
+class WaypointViolation:
+    flow_id: int
+    missing: frozenset
+    path: tuple
+    packet_seq: int | None = None
+
+
+def check_state_waypoints(
+    state: ForwardingState, policies: Iterable[WaypointPolicy]
+) -> list[WaypointViolation]:
+    """Static check: every ingress walk must cover the waypoints."""
+    violations = []
+    for policy in policies:
+        for ingress in state.ingresses(policy.flow_id):
+            path, outcome = state.walk(policy.flow_id, ingress=ingress)
+            if outcome != "delivered":
+                continue        # blackhole/loop is another checker's job
+            missing = policy.waypoints - set(path)
+            if missing:
+                violations.append(
+                    WaypointViolation(
+                        flow_id=policy.flow_id,
+                        missing=frozenset(missing),
+                        path=tuple(path),
+                    )
+                )
+    return violations
+
+
+def check_packet_waypoints(
+    hop_logs: Sequence[tuple[int, Sequence[str]]],
+    policy: WaypointPolicy,
+) -> list[WaypointViolation]:
+    """Per-packet check over ``(seq, hops)`` records of delivered
+    packets — the property a 2PC update preserves and a plain update
+    may transiently break."""
+    violations = []
+    for seq, hops in hop_logs:
+        missing = policy.waypoints - set(hops)
+        if missing:
+            violations.append(
+                WaypointViolation(
+                    flow_id=policy.flow_id,
+                    missing=frozenset(missing),
+                    path=tuple(hops),
+                    packet_seq=seq,
+                )
+            )
+    return violations
+
+
+def paths_satisfy(policy: WaypointPolicy, *paths: Sequence[str]) -> bool:
+    """Do all given (old/new) paths contain every waypoint?  The
+    precondition under which a 2PC update preserves the policy."""
+    return all(policy.waypoints <= set(path) for path in paths)

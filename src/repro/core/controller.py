@@ -1,0 +1,382 @@
+"""The P4Update control plane (paper §6, §8).
+
+The controller keeps the Network Information Base (the topology) and
+the Flow DB, computes the per-switch update/verification content
+(distances, version, roles, ports) and pushes it as UIMs.  After the
+trigger it only waits for UFMs — the whole coordination happens in the
+data plane.
+
+:meth:`P4UpdateController.prepare_update` is the function the Fig. 8
+benchmark times: distance labeling plus (for dual-layer) the path
+segmentation.  Unlike ez-Segway, no congestion dependency graph is
+ever computed here — inter-flow dependencies are resolved by the §7.4
+scheduler in the data plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.labeling import VersionAllocator, distance_labels
+from repro.core.messages import FRM, UFM, UIM, TagFlip, UpdateType
+from repro.core.registers import LOCAL_DELIVER_PORT
+from repro.core.segmentation import compute_gateways, compute_segments
+from repro.core.strategy import choose_update_type
+from repro.params import SimParams
+from repro.sim.node import Node
+from repro.sim.trace import KIND_UPDATE_DONE
+from repro.topo.graph import Topology
+from repro.traffic.flows import Flow
+
+
+@dataclass
+class FlowRecord:
+    """Flow DB entry: the controller's view of one flow."""
+
+    flow: Flow
+    current_path: list[str]
+    version: int
+    pending_path: Optional[list[str]] = None
+    pending_version: Optional[int] = None
+    update_sent_at: Optional[float] = None
+    update_done_at: Optional[float] = None
+    alarms: list[UFM] = field(default_factory=list)
+    # §11 2-phase-commit state.
+    current_tag: int = 0
+    staged_tag: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PreparedUpdate:
+    """Output of control-plane preparation for one flow update."""
+
+    flow_id: int
+    version: int
+    update_type: UpdateType
+    uims: tuple[UIM, ...]
+
+
+class P4UpdateController(Node):
+    """Centralized controller node."""
+
+    def __init__(
+        self,
+        name: str,
+        topology: Topology,
+        params: Optional[SimParams] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name)
+        self.topology = topology          # the NIB
+        self.params = params if params is not None else SimParams()
+        self.rng = rng if rng is not None else self.params.rng()
+        self.flow_db: dict[int, FlowRecord] = {}
+        self.versions = VersionAllocator()
+        self.reported_flows: list[FRM] = []
+        self.alarms: list[UFM] = []
+        # §11 failure handling: prepared updates kept for re-triggering
+        # after a reported UNM loss, with a retry budget.
+        self._prepared: dict[tuple[int, int], PreparedUpdate] = {}
+        self._retriggers: dict[tuple[int, int], int] = {}
+        self.max_retriggers = 15
+        # NIB port cache: (node, neighbor) -> port, filled lazily.
+        self._port_cache: dict[tuple[str, str], int] = {}
+        # §11 destination-tree updates (set by DestinationTreeManager).
+        self.tree_manager = None
+
+    # -- controller service model ----------------------------------------------
+
+    def control_service_time(self) -> float:
+        """Per-message service time at the single-threaded controller."""
+        return self.params.controller_service.sample(self.rng)
+
+    def control_queue_delay(self) -> float:
+        """Backlog wait behind background control traffic ([40])."""
+        util = self.params.controller_background_util
+        if util <= 0:
+            return 0.0
+        mean_wait = util / (1.0 - util) * self.params.controller_service.value
+        return float(self.rng.exponential(mean_wait))
+
+    # -- flow DB -------------------------------------------------------------------
+
+    def register_flow(self, flow: Flow) -> FlowRecord:
+        if flow.old_path is None:
+            raise ValueError(f"flow {flow.flow_id} has no initial path")
+        record = FlowRecord(
+            flow=flow, current_path=list(flow.old_path),
+            version=self.versions.next_version(flow.flow_id),
+        )
+        self.flow_db[flow.flow_id] = record
+        return record
+
+    def record_of(self, flow_id: int) -> FlowRecord:
+        return self.flow_db[flow_id]
+
+    # -- preparation (the Fig. 8 measured computation) ----------------------------------
+
+    def prepare_update(
+        self,
+        flow_id: int,
+        new_path: list[str],
+        update_type: Optional[UpdateType] = None,
+        congestion_aware: bool = True,
+        stage_tag: Optional[int] = None,
+    ) -> PreparedUpdate:
+        """Compute the UIM set for rerouting ``flow_id`` to ``new_path``.
+
+        ``update_type=None`` applies the §7.5 strategy.  Congestion
+        awareness only adds the flow size to each UIM — the scheduling
+        itself happens in the data plane.
+        """
+        record = self.flow_db[flow_id]
+        old_path = record.current_path
+        if update_type is None:
+            update_type = choose_update_type(old_path, new_path)
+        version = self.versions.next_version(flow_id)
+        distances = distance_labels(new_path)
+        if update_type is UpdateType.DUAL:
+            segments = compute_segments(old_path, new_path)
+            segment_egress = {s.egress_gateway for s in segments}
+            gateways = set(compute_gateways(old_path, new_path))
+        else:
+            segment_egress = set()
+            gateways = set()
+
+        ingress, egress = new_path[0], new_path[-1]
+        size = record.flow.size if congestion_aware else 0.0
+        uims = []
+        for i, node in enumerate(new_path):
+            is_egress = node == egress
+            child = new_path[i - 1] if i > 0 else None
+            parent = new_path[i + 1] if not is_egress else None
+            uims.append(
+                UIM(
+                    target=node,
+                    flow_id=flow_id,
+                    version=version,
+                    new_distance=distances[node],
+                    egress_port=(
+                        LOCAL_DELIVER_PORT if is_egress
+                        else self._port(node, parent)
+                    ),
+                    flow_size=size if size > 0 else record.flow.size,
+                    update_type=update_type,
+                    child_port=self._port(node, child) if child else None,
+                    is_flow_egress=is_egress,
+                    is_segment_egress=node in segment_egress and not is_egress,
+                    is_ingress=node == ingress,
+                    is_gateway=node in gateways,
+                    stage_tag=stage_tag,
+                )
+            )
+        record.pending_path = list(new_path)
+        record.pending_version = version
+        prepared = PreparedUpdate(
+            flow_id=flow_id, version=version,
+            update_type=update_type, uims=tuple(uims),
+        )
+        self._prepared[(flow_id, version)] = prepared
+        return prepared
+
+    def _port(self, node: str, neighbor: Optional[str]) -> int:
+        assert neighbor is not None
+        port = self._port_cache.get((node, neighbor))
+        if port is None:
+            if self.network is None:
+                raise RuntimeError("controller not attached to a network")
+            port = self.network.port_towards(node, neighbor)
+            self._port_cache[(node, neighbor)] = port
+        return port
+
+    # -- triggering -------------------------------------------------------------------------
+
+    def push_update(self, prepared: PreparedUpdate) -> None:
+        """Send all UIMs of a prepared update into the data plane."""
+        record = self.flow_db[prepared.flow_id]
+        record.update_sent_at = self.now
+        for uim in prepared.uims:
+            self.send_control(uim)
+        timeout = self.params.controller_update_timeout_ms
+        if timeout > 0:
+            self.engine.schedule(
+                timeout, self._check_completion,
+                prepared.flow_id, prepared.version,
+            )
+
+    def _check_completion(self, flow_id: int, version: int) -> None:
+        """§11 controller-side watchdog: the update produced no UFM in
+        time — re-trigger and keep watching."""
+        record = self.flow_db.get(flow_id)
+        if record is None or record.pending_version != version:
+            return  # completed or superseded
+        self._retrigger(flow_id, version)
+        if self._retriggers.get((flow_id, version), 0) < self.max_retriggers:
+            self.engine.schedule(
+                self.params.controller_update_timeout_ms,
+                self._check_completion, flow_id, version,
+            )
+
+    def update_flow(
+        self,
+        flow_id: int,
+        new_path: list[str],
+        update_type: Optional[UpdateType] = None,
+    ) -> PreparedUpdate:
+        """Prepare and immediately push an update."""
+        prepared = self.prepare_update(flow_id, new_path, update_type)
+        self.push_update(prepared)
+        return prepared
+
+    def compact_update(
+        self,
+        flow_id: int,
+        new_path: list[str],
+        update_type: Optional[UpdateType] = None,
+    ) -> PreparedUpdate:
+        """§11 "Reducing the Number of Control Plane Messages".
+
+        Sends UIMs only to the switches that may immediately notify
+        their children — the flow egress and, for DL, each segment
+        egress gateway ("e.g., only to v7, v4, v2 in Fig. 1").  Each
+        such UIM piggybacks the UIMs of its segment's upstream nodes,
+        which travel on the UNM as a header stack and are popped hop by
+        hop.  Parallelism per segment is retained.
+        """
+        prepared = self.prepare_update(flow_id, new_path, update_type)
+        by_target = {uim.target: uim for uim in prepared.uims}
+        order = list(new_path)
+
+        # Collect originators: flow egress (always) + segment egresses.
+        originators = [
+            uim for uim in prepared.uims
+            if uim.is_flow_egress or uim.is_segment_egress
+        ]
+        # Upstream nodes between originators, in notification order.
+        originator_names = {uim.target for uim in originators}
+        compact_uims = []
+        from dataclasses import replace as dc_replace
+
+        for originator in originators:
+            start = order.index(originator.target)
+            stack = []
+            for node in reversed(order[:start]):
+                if node in originator_names:
+                    break            # that node has its own control UIM
+                stack.append(by_target[node])
+            compact_uims.append(
+                dc_replace(originator, piggyback=tuple(stack))
+            )
+        compact = PreparedUpdate(
+            flow_id=prepared.flow_id,
+            version=prepared.version,
+            update_type=prepared.update_type,
+            uims=tuple(compact_uims),
+        )
+        self._prepared[(prepared.flow_id, prepared.version)] = compact
+        self.push_update(compact)
+        return compact
+
+    def two_phase_update(self, flow_id: int, new_path: list[str]) -> PreparedUpdate:
+        """§11 2PC integration: stage the new rules under the inactive
+        packet tag via an SL update; once the chain confirms every rule
+        is in place, flip the ingress tag — per-packet consistency.
+        """
+        record = self.flow_db[flow_id]
+        stage_tag = 1 - record.current_tag
+        prepared = self.prepare_update(
+            flow_id, new_path, UpdateType.SINGLE, stage_tag=stage_tag
+        )
+        record.staged_tag = stage_tag
+        self.push_update(prepared)
+        return prepared
+
+    # -- feedback ----------------------------------------------------------------------------
+
+    def handle_control(self, message: Any, sender: str) -> None:
+        if isinstance(message, FRM):
+            self.reported_flows.append(message)
+        elif isinstance(message, UFM):
+            self._handle_ufm(message)
+
+    def _handle_ufm(self, ufm: UFM) -> None:
+        if (
+            self.tree_manager is not None
+            and ufm.status == "success"
+            and self.tree_manager.handle_ufm(ufm)
+        ):
+            return
+        record = self.flow_db.get(ufm.flow_id)
+        if ufm.status == "alarm":
+            self.alarms.append(ufm)
+            if record is not None:
+                record.alarms.append(ufm)
+            if ufm.reason == "unm_timeout":
+                self._retrigger(ufm.flow_id, ufm.version)
+            return
+        if record is None:
+            return
+        if ufm.version == record.pending_version:
+            if record.staged_tag is not None and ufm.reason != "tag_flipped":
+                # 2PC phase 1 complete: every new-tag rule is staged —
+                # tell the ingress to start stamping the new tag.
+                ingress = (record.pending_path or record.current_path)[0]
+                self.send_control(
+                    TagFlip(
+                        target=ingress,
+                        flow_id=ufm.flow_id,
+                        version=ufm.version,
+                        tag=record.staged_tag,
+                        new_path=tuple(record.pending_path or ()),
+                    )
+                )
+                return
+            if record.staged_tag is not None:
+                record.current_tag = record.staged_tag
+                record.staged_tag = None
+            record.version = ufm.version
+            record.current_path = list(record.pending_path or record.current_path)
+            record.pending_path = None
+            record.pending_version = None
+            record.update_done_at = self.now
+            if self.network is not None:
+                self.network.trace.record(
+                    self.now, KIND_UPDATE_DONE, self.name,
+                    flow=ufm.flow_id, version=ufm.version,
+                )
+
+    def _retrigger(self, flow_id: int, version: int) -> None:
+        """§11: resend the UIM to the node(s) that regenerate UNMs —
+        the flow egress for SL, the segment egresses for DL — so the
+        notification chain restarts from there."""
+        record = self.flow_db.get(flow_id)
+        if record is None or record.pending_version != version:
+            return  # stale alarm
+        prepared = self._prepared.get((flow_id, version))
+        if prepared is None:
+            return
+        key = (flow_id, version)
+        if self._retriggers.get(key, 0) >= self.max_retriggers:
+            return
+        self._retriggers[key] = self._retriggers.get(key, 0) + 1
+        for uim in prepared.uims:
+            if uim.is_flow_egress or uim.is_segment_egress:
+                self.send_control(uim)
+
+    # -- convenience queries -------------------------------------------------------------------
+
+    def update_complete(self, flow_id: int) -> bool:
+        record = self.flow_db.get(flow_id)
+        return record is not None and record.pending_version is None
+
+    def all_updates_complete(self) -> bool:
+        return all(r.pending_version is None for r in self.flow_db.values())
+
+    def update_duration(self, flow_id: int) -> Optional[float]:
+        record = self.flow_db.get(flow_id)
+        if record is None or record.update_done_at is None or record.update_sent_at is None:
+            return None
+        return record.update_done_at - record.update_sent_at

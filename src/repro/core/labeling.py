@@ -1,0 +1,64 @@
+"""Distance labeling and version allocation (paper §3).
+
+The control plane assigns every node of the new path P_n its distance
+to the egress (number of hops), and every update a unique, strictly
+increasing version number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def distance_labels(path: Sequence[str]) -> dict[str, int]:
+    """Hop distance to the egress for every node of ``path``.
+
+    For the Fig. 1 new path (v0..v7): D(v0)=7, ..., D(v7)=0.
+    """
+    if len(path) < 2:
+        raise ValueError("a path needs at least two nodes")
+    if len(set(path)) != len(path):
+        raise ValueError(f"path revisits a node: {path}")
+    length = len(path) - 1
+    return {node: length - i for i, node in enumerate(path)}
+
+
+class VersionAllocator:
+    """Strictly increasing version numbers per flow.
+
+    The paper: "The version number V is unique and increments
+    automatically for each new configuration."
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._current: dict[int, int] = {}
+        self._start = start
+
+    def next_version(self, flow_id: int) -> int:
+        version = self._current.get(flow_id, self._start) + 1
+        self._current[flow_id] = version
+        return version
+
+    def current(self, flow_id: int) -> int:
+        return self._current.get(flow_id, self._start)
+
+
+@dataclass(frozen=True)
+class UpdateLabels:
+    """Everything the control plane computes for one flow update."""
+
+    flow_id: int
+    version: int
+    new_path: tuple[str, ...]
+    distances: dict
+
+
+def label_update(flow_id: int, version: int, new_path: Sequence[str]) -> UpdateLabels:
+    """Compute the verification content of an update (version + distances)."""
+    return UpdateLabels(
+        flow_id=flow_id,
+        version=version,
+        new_path=tuple(new_path),
+        distances=distance_labels(new_path),
+    )

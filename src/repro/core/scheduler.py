@@ -1,0 +1,213 @@
+"""Data-plane congestion scheduler (paper §7.4, App. A.2).
+
+Completely local to one switch: when a flow cannot move to outgoing
+link *e* because the remaining capacity is insufficient, every flow
+that desires to move *away from e* (it currently occupies *e* and has
+a pending update to a different link) is raised to high priority.  A
+low-priority flow may move onto *e* only when no high-priority flow is
+also waiting for *e*; high-priority flows move immediately once the
+capacity suffices.  Priorities are dynamic — recomputed from the flows
+actually waiting, never precomputed by the controller (unlike
+ez-Segway's static three-class priorities).
+
+Moves are atomic (the 15-puzzle model of §7.4): between admission and
+rule-install completion the flow holds capacity on **both** the old
+and the new link.  :meth:`CongestionScheduler.try_move` reserves the
+new link, :meth:`commit_move` releases the old one once traffic has
+actually moved, and :meth:`abort_move` rolls back a superseded
+admission (fast-forward).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Priority(enum.IntEnum):
+    LOW = 0
+    HIGH = 1
+
+
+@dataclass
+class PortBudget:
+    """Capacity bookkeeping for one outgoing port."""
+
+    capacity: float
+    reserved: float = 0.0
+
+    @property
+    def remaining(self) -> float:
+        return self.capacity - self.reserved
+
+
+class CongestionScheduler:
+    """Per-switch scheduler deciding when a blocked flow may move."""
+
+    def __init__(self) -> None:
+        self._budgets: dict[int, PortBudget] = {}
+        # flow_id -> (port, size): committed placement.
+        self._held: dict[int, tuple[int, float]] = {}
+        # flow_id -> (port, size): admitted but not yet committed move.
+        self._transit: dict[int, tuple[int, float]] = {}
+        # port -> {flow_id} waiting to move TO that port.
+        self._waiting_for: dict[int, set[int]] = {}
+        self._priority: dict[int, Priority] = {}
+        self.deferrals = 0
+        self.admissions = 0
+
+    # -- configuration ----------------------------------------------------
+
+    def set_port_capacity(self, port: int, capacity: float) -> None:
+        existing = self._budgets.get(port)
+        if existing is None:
+            self._budgets[port] = PortBudget(capacity=capacity)
+        else:
+            existing.capacity = capacity
+
+    def port_budget(self, port: int) -> PortBudget:
+        budget = self._budgets.get(port)
+        if budget is None:
+            budget = PortBudget(capacity=float("inf"))
+            self._budgets[port] = budget
+        return budget
+
+    # -- queries ------------------------------------------------------------
+
+    def priority(self, flow_id: int) -> Priority:
+        return self._priority.get(flow_id, Priority.LOW)
+
+    def committed_port(self, flow_id: int) -> Optional[int]:
+        held = self._held.get(flow_id)
+        return held[0] if held is not None else None
+
+    def in_transit(self, flow_id: int) -> bool:
+        return flow_id in self._transit
+
+    def waiting_flows(self, port: int) -> set[int]:
+        return set(self._waiting_for.get(port, set()))
+
+    # -- initial placement ------------------------------------------------------
+
+    def occupy(self, flow_id: int, port: int, size: float) -> None:
+        """Record a flow already routed out of ``port`` (initial state).
+
+        Unconditional: the controller guaranteed initial feasibility.
+        """
+        self.release(flow_id)
+        self.port_budget(port).reserved += size
+        self._held[flow_id] = (port, size)
+
+    def release(self, flow_id: int) -> None:
+        """Drop every reservation of the flow (committed and in transit)."""
+        held = self._held.pop(flow_id, None)
+        if held is not None:
+            port, size = held
+            self.port_budget(port).reserved -= size
+        self.abort_move(flow_id)
+
+    # -- the §7.4 admission decision --------------------------------------------
+
+    def try_move(self, flow_id: int, new_port: int, size: float) -> bool:
+        """Attempt to admit a move of ``flow_id`` onto ``new_port``.
+
+        On True the new port's capacity is reserved *in addition to*
+        the committed one; call :meth:`commit_move` when the rules have
+        flipped.  On False the flow is recorded as waiting for
+        ``new_port`` and blocking-link priorities are raised.
+        """
+        held = self._held.get(flow_id)
+        if held is not None and held[0] == new_port:
+            # Same link as before: capacity already reserved (§A.2).
+            self._clear_wait(flow_id, new_port)
+            self.abort_move(flow_id)
+            self.admissions += 1
+            return True
+
+        transit = self._transit.get(flow_id)
+        if transit is not None:
+            if transit[0] == new_port:
+                return True  # already admitted
+            # A newer target supersedes the old admission.
+            self.abort_move(flow_id)
+
+        budget = self.port_budget(new_port)
+        capacity_ok = budget.remaining >= size - 1e-9
+
+        if capacity_ok and self.priority(flow_id) is Priority.LOW:
+            # A low-priority flow must yield to high-priority flows
+            # waiting for the same link.
+            rivals = self._waiting_for.get(new_port, set()) - {flow_id}
+            if any(self.priority(r) is Priority.HIGH for r in rivals):
+                capacity_ok = False
+
+        if not capacity_ok:
+            self.deferrals += 1
+            self._waiting_for.setdefault(new_port, set()).add(flow_id)
+            self._recompute_priorities()
+            return False
+
+        budget.reserved += size
+        self._transit[flow_id] = (new_port, size)
+        self._clear_wait(flow_id, new_port)
+        self._priority.pop(flow_id, None)
+        self.admissions += 1
+        self._recompute_priorities()
+        return True
+
+    def commit_move(self, flow_id: int) -> None:
+        """Finalize an admitted move: release the old link's capacity."""
+        transit = self._transit.pop(flow_id, None)
+        if transit is None:
+            return  # same-port move or already committed
+        held = self._held.pop(flow_id, None)
+        if held is not None:
+            old_port, old_size = held
+            self.port_budget(old_port).reserved -= old_size
+        self._held[flow_id] = transit
+
+    def abort_move(self, flow_id: int) -> None:
+        """Roll back an admitted-but-uncommitted move."""
+        transit = self._transit.pop(flow_id, None)
+        if transit is not None:
+            port, size = transit
+            self.port_budget(port).reserved -= size
+
+    # -- internals ---------------------------------------------------------------
+
+    def _recompute_priorities(self) -> None:
+        """Dynamic §7.4 priorities from the current waiting sets.
+
+        A flow is HIGH exactly when (a) some other flow is waiting to
+        move onto a port the flow currently occupies, and (b) the flow
+        itself is waiting to move away to a different port.  Everything
+        else is LOW.
+        """
+        contended = {
+            port
+            for port, waiters in self._waiting_for.items()
+            if waiters
+        }
+        self._priority = {}
+        for flow_id, (port, _) in self._held.items():
+            if port not in contended:
+                continue
+            blocked_by_others = any(
+                w != flow_id for w in self._waiting_for.get(port, set())
+            )
+            if not blocked_by_others:
+                continue
+            wants_out = any(
+                flow_id in waiters and target != port
+                for target, waiters in self._waiting_for.items()
+            )
+            if wants_out:
+                self._priority[flow_id] = Priority.HIGH
+
+    def _clear_wait(self, flow_id: int, port: int) -> None:
+        waiters = self._waiting_for.get(port)
+        if waiters is not None:
+            waiters.discard(flow_id)
+            if not waiters:
+                del self._waiting_for[port]

@@ -1,0 +1,35 @@
+"""Single- vs dual-layer selection (paper §7.5).
+
+The deployment rule the paper proposes and evaluates:
+
+1. updates that install new forwarding rules on relatively few nodes
+   and contain only *forward* segments are handled by SL-P4Update;
+2. all other updates are handled by DL-P4Update.
+
+§9.1 makes "relatively few" concrete: "choosing the single-layer
+approach when we have only forward segments with at most five nodes to
+be updated".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.messages import UpdateType
+from repro.core.segmentation import compute_segments, nodes_to_update
+
+SL_NODE_THRESHOLD = 5
+
+
+def choose_update_type(
+    old_path: Sequence[str],
+    new_path: Sequence[str],
+    threshold: int = SL_NODE_THRESHOLD,
+) -> UpdateType:
+    """Pick SL or DL for one flow update per the §7.5/§9.1 rule."""
+    segments = compute_segments(old_path, new_path)
+    only_forward = all(segment.forward for segment in segments)
+    changed = nodes_to_update(old_path, new_path)
+    if only_forward and len(changed) <= threshold:
+        return UpdateType.SINGLE
+    return UpdateType.DUAL

@@ -1,0 +1,196 @@
+"""Builders for the baseline deployments (ez-Segway, Central).
+
+Both share the P4Update deployment's link latencies, port numbering,
+control channels and parameter set, so update-time comparisons are
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.central import CentralController, CentralSwitch
+from repro.baselines.ezsegway import EzSegwayController, EzSegwaySwitch
+from repro.consistency.state import ForwardingState
+from repro.harness.build import assign_ports
+from repro.params import SimParams
+from repro.sim.engine import Engine
+from repro.sim.links import ControlChannel, Link
+from repro.sim.network import Network
+from repro.topo.graph import Topology
+from repro.traffic.flows import Flow
+
+
+def _wire_common(topo: Topology, params: SimParams, rng, controller_node):
+    """Shared wiring: nodes added by caller, links + channels here."""
+    if topo.controller is None:
+        topo.place_controller_at_centroid()
+
+
+@dataclass
+class EzSegwayDeployment:
+    topology: Topology
+    network: Network
+    controller: EzSegwayController
+    switches: dict[str, EzSegwaySwitch]
+    forwarding_state: ForwardingState
+    params: SimParams
+
+    def install_flow(self, flow: Flow) -> None:
+        if flow.old_path is None:
+            raise ValueError("flow needs an initial path")
+        path = flow.old_path
+        self.forwarding_state.register_flow(flow.flow_id, path[0], path[-1], flow.size)
+        for i, node in enumerate(path):
+            next_hop = path[i + 1] if i + 1 < len(path) else None
+            self.switches[node].install_initial(flow.flow_id, next_hop, flow.size)
+        self.controller.register_flow(flow)
+
+    def set_congestion_aware(self, enabled: bool) -> None:
+        for switch in self.switches.values():
+            switch.congestion_aware = enabled
+
+    def run(self, until: Optional[float] = None) -> None:
+        horizon = until if until is not None else self.params.max_sim_time_ms
+        self.network.run(until=horizon)
+
+
+def build_ezsegway_network(
+    topo: Topology,
+    params: Optional[SimParams] = None,
+    rng: Optional[np.random.Generator] = None,
+    controller_name: str = "controller",
+) -> EzSegwayDeployment:
+    params = params if params is not None else SimParams()
+    rng = rng if rng is not None else params.rng()
+    if topo.controller is None:
+        topo.place_controller_at_centroid()
+
+    network = Network(Engine())
+    forwarding_state = ForwardingState()
+    switches: dict[str, EzSegwaySwitch] = {}
+    for name in sorted(topo.nodes):
+        switch = EzSegwaySwitch(
+            name, params=params,
+            rng=np.random.default_rng(rng.integers(0, 2**63)),
+            forwarding_state=forwarding_state,
+        )
+        network.add_node(switch)
+        switches[name] = switch
+
+    ports = assign_ports(topo)
+    for edge in topo.edges:
+        network.add_link(
+            Link(
+                node_a=edge.a, port_a=ports[(edge.a, edge.b)],
+                node_b=edge.b, port_b=ports[(edge.b, edge.a)],
+                latency_ms=edge.latency_ms, capacity=edge.capacity,
+            )
+        )
+        forwarding_state.set_capacity(edge.a, edge.b, edge.capacity)
+        switches[edge.a].set_link(edge.b, edge.capacity)
+        switches[edge.b].set_link(edge.a, edge.capacity)
+
+    controller = EzSegwayController(
+        controller_name, topo, params=params,
+        rng=np.random.default_rng(rng.integers(0, 2**63)),
+    )
+    network.add_node(controller)
+    network.set_controller(controller_name)
+
+    is_fattree = topo.name.startswith("fattree")
+    for name in sorted(topo.nodes):
+        latency = (
+            params.fattree_control_latency.sample(rng)
+            if is_fattree else topo.control_latency(name)
+        )
+        network.add_control_channel(ControlChannel(name, latency_ms=latency))
+
+    return EzSegwayDeployment(
+        topology=topo, network=network, controller=controller,
+        switches=switches, forwarding_state=forwarding_state, params=params,
+    )
+
+
+@dataclass
+class CentralDeployment:
+    topology: Topology
+    network: Network
+    controller: CentralController
+    switches: dict[str, CentralSwitch]
+    forwarding_state: ForwardingState
+    params: SimParams
+
+    def install_flow(self, flow: Flow) -> None:
+        if flow.old_path is None:
+            raise ValueError("flow needs an initial path")
+        path = flow.old_path
+        self.forwarding_state.register_flow(flow.flow_id, path[0], path[-1], flow.size)
+        for i, node in enumerate(path):
+            next_hop = path[i + 1] if i + 1 < len(path) else None
+            self.switches[node].install_initial(flow.flow_id, next_hop)
+        self.controller.register_flow(flow)
+
+    def run(self, until: Optional[float] = None) -> None:
+        horizon = until if until is not None else self.params.max_sim_time_ms
+        self.network.run(until=horizon)
+
+
+def build_central_network(
+    topo: Topology,
+    params: Optional[SimParams] = None,
+    rng: Optional[np.random.Generator] = None,
+    controller_name: str = "controller",
+    congestion_aware: bool = False,
+) -> CentralDeployment:
+    params = params if params is not None else SimParams()
+    rng = rng if rng is not None else params.rng()
+    if topo.controller is None:
+        topo.place_controller_at_centroid()
+
+    network = Network(Engine())
+    forwarding_state = ForwardingState()
+    switches: dict[str, CentralSwitch] = {}
+    for name in sorted(topo.nodes):
+        switch = CentralSwitch(
+            name, params=params,
+            rng=np.random.default_rng(rng.integers(0, 2**63)),
+            forwarding_state=forwarding_state,
+        )
+        network.add_node(switch)
+        switches[name] = switch
+
+    ports = assign_ports(topo)
+    for edge in topo.edges:
+        network.add_link(
+            Link(
+                node_a=edge.a, port_a=ports[(edge.a, edge.b)],
+                node_b=edge.b, port_b=ports[(edge.b, edge.a)],
+                latency_ms=edge.latency_ms, capacity=edge.capacity,
+            )
+        )
+        forwarding_state.set_capacity(edge.a, edge.b, edge.capacity)
+
+    controller = CentralController(
+        controller_name, topo, params=params,
+        rng=np.random.default_rng(rng.integers(0, 2**63)),
+        congestion_aware=congestion_aware,
+    )
+    network.add_node(controller)
+    network.set_controller(controller_name)
+
+    is_fattree = topo.name.startswith("fattree")
+    for name in sorted(topo.nodes):
+        latency = (
+            params.fattree_control_latency.sample(rng)
+            if is_fattree else topo.control_latency(name)
+        )
+        network.add_control_channel(ControlChannel(name, latency_ms=latency))
+
+    return CentralDeployment(
+        topology=topo, network=network, controller=controller,
+        switches=switches, forwarding_state=forwarding_state, params=params,
+    )

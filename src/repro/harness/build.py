@@ -1,0 +1,187 @@
+"""Builders turning a :class:`~repro.topo.graph.Topology` into a live
+simulated P4Update deployment.
+
+Port numbering: for every node, ports are assigned 1..degree in sorted
+neighbour order, deterministically.  The controller is co-located at
+the topology's controller node (placed at the centroid for WANs,
+paper §9.1); per-switch control-channel latency is the shortest-path
+latency from there, or — for fat-trees — a sample from the measured
+software-switch distribution (see DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.consistency.state import ForwardingState
+from repro.core.controller import P4UpdateController
+from repro.core.labeling import distance_labels
+from repro.core.registers import LOCAL_DELIVER_PORT
+from repro.core.switch import P4UpdateSwitch
+from repro.params import SimParams
+from repro.sim.engine import Engine
+from repro.sim.links import ControlChannel, Link
+from repro.sim.network import Network
+from repro.topo.graph import Topology
+from repro.traffic.flows import Flow
+
+
+def assign_ports(topo: Topology) -> dict[tuple[str, str], int]:
+    """Deterministic port map: (node, neighbor) -> local port number."""
+    ports: dict[tuple[str, str], int] = {}
+    for node in sorted(topo.nodes):
+        for i, neighbor in enumerate(sorted(topo.neighbors(node)), start=1):
+            ports[(node, neighbor)] = i
+    return ports
+
+
+@dataclass
+class P4UpdateDeployment:
+    """A wired-up simulated network ready to run experiments."""
+
+    topology: Topology
+    network: Network
+    controller: P4UpdateController
+    switches: dict[str, P4UpdateSwitch]
+    forwarding_state: ForwardingState
+    params: SimParams
+
+    def switch(self, name: str) -> P4UpdateSwitch:
+        return self.switches[name]
+
+    def install_flow(self, flow: Flow) -> None:
+        """Bootstrap a flow's initial (version 1) deployment.
+
+        Writes the registers of every switch on the old path directly
+        (the controller's initial rollout) and registers the flow with
+        the Flow DB and the consistency checker's ground truth.
+        """
+        if flow.old_path is None:
+            raise ValueError(f"flow {flow.flow_id} has no initial path")
+        path = flow.old_path
+        distances = distance_labels(path)
+        self.forwarding_state.register_flow(
+            flow.flow_id, path[0], path[-1], flow.size
+        )
+        for i, node in enumerate(path):
+            switch = self.switches[node]
+            if node == path[-1]:
+                port = LOCAL_DELIVER_PORT
+            else:
+                port = self.network.port_towards(node, path[i + 1])
+            switch.install_initial_flow(
+                flow.flow_id, distances[node], port, flow.size
+            )
+        self.controller.register_flow(flow)
+
+    def set_congestion_aware(self, enabled: bool) -> None:
+        for switch in self.switches.values():
+            switch.program.congestion_aware = enabled
+
+    def telemetry(self) -> dict:
+        """Aggregated per-deployment counters (the kind of statistics
+        an operator would scrape from the switches' registers)."""
+        totals = {
+            "packets_processed": 0,
+            "packets_dropped": 0,
+            "resubmissions": 0,
+            "installs_completed": 0,
+            "capacity_deferrals": 0,
+            "unm_processed": 0,
+            "unm_waits": 0,
+            "unm_rejects": 0,
+            "probes_delivered": 0,
+            "probes_ttl_expired": 0,
+            "alarms": 0,
+        }
+        per_switch: dict[str, dict] = {}
+        for name, switch in self.switches.items():
+            stats = switch.program.stats
+            row = {
+                "packets_processed": switch.packets_processed,
+                "packets_dropped": switch.packets_dropped,
+                "resubmissions": switch.resubmissions,
+                "installs_completed": switch.installs_completed,
+                "capacity_deferrals": stats["capacity_deferrals"],
+                "unm_processed": stats["unm_processed"],
+                "unm_waits": stats["unm_waits"],
+                "unm_rejects": stats["unm_rejects"],
+                "probes_delivered": stats["probes_delivered"],
+                "probes_ttl_expired": stats["probes_ttl_expired"],
+                "alarms": len(switch.alarms),
+            }
+            per_switch[name] = row
+            for key, value in row.items():
+                totals[key] += value
+        return {"total": totals, "per_switch": per_switch}
+
+    def run(self, until: Optional[float] = None) -> None:
+        horizon = until if until is not None else self.params.max_sim_time_ms
+        self.network.run(until=horizon)
+
+
+def build_p4update_network(
+    topo: Topology,
+    params: Optional[SimParams] = None,
+    rng: Optional[np.random.Generator] = None,
+    controller_name: str = "controller",
+) -> P4UpdateDeployment:
+    """Construct switches, links and control channels for ``topo``."""
+    params = params if params is not None else SimParams()
+    rng = rng if rng is not None else params.rng()
+    if topo.controller is None:
+        topo.place_controller_at_centroid()
+
+    network = Network(Engine())
+    forwarding_state = ForwardingState()
+
+    switches: dict[str, P4UpdateSwitch] = {}
+    for name in sorted(topo.nodes):
+        switch = P4UpdateSwitch(
+            name, params=params,
+            rng=np.random.default_rng(rng.integers(0, 2**63)),
+            forwarding_state=forwarding_state,
+        )
+        network.add_node(switch)
+        switches[name] = switch
+
+    ports = assign_ports(topo)
+    for edge in topo.edges:
+        network.add_link(
+            Link(
+                node_a=edge.a, port_a=ports[(edge.a, edge.b)],
+                node_b=edge.b, port_b=ports[(edge.b, edge.a)],
+                latency_ms=edge.latency_ms, capacity=edge.capacity,
+            )
+        )
+        forwarding_state.set_capacity(edge.a, edge.b, edge.capacity)
+
+    controller = P4UpdateController(
+        controller_name, topo, params=params,
+        rng=np.random.default_rng(rng.integers(0, 2**63)),
+    )
+    network.add_node(controller)
+    network.set_controller(controller_name)
+
+    is_fattree = topo.name.startswith("fattree")
+    for name in sorted(topo.nodes):
+        if is_fattree:
+            latency = params.fattree_control_latency.sample(rng)
+        else:
+            latency = topo.control_latency(name)
+        network.add_control_channel(ControlChannel(name, latency_ms=latency))
+
+    for switch in switches.values():
+        switch.configure_ports()
+
+    return P4UpdateDeployment(
+        topology=topo,
+        network=network,
+        controller=controller,
+        switches=switches,
+        forwarding_state=forwarding_state,
+        params=params,
+    )

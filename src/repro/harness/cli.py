@@ -1,0 +1,183 @@
+"""Command-line interface: ``p4update-repro <command>``.
+
+Commands regenerate individual experiments without pytest:
+
+* ``fig2`` — the §4.1 inconsistent-update demonstration;
+* ``fig4`` — the §4.2 fast-forward CDF;
+* ``fig7 <scenario>`` — one Fig. 7 cell (a-f);
+* ``fig8`` — the control-plane preparation ratios;
+* ``demo`` — a quick single-flow update walk-through with tracing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+FIG7_SCENARIOS = {
+    "a": ("single", "fig1"),
+    "b": ("multi", "fattree"),
+    "c": ("single", "b4"),
+    "d": ("multi", "b4"),
+    "e": ("single", "internet2"),
+    "f": ("multi", "internet2"),
+}
+
+
+def _topology(name: str):
+    from repro.topo import (
+        b4_topology,
+        fattree_topology,
+        fig1_topology,
+        internet2_topology,
+    )
+
+    return {
+        "fig1": fig1_topology,
+        "b4": b4_topology,
+        "internet2": internet2_topology,
+        "fattree": lambda: fattree_topology(4),
+    }[name]
+
+
+def cmd_fig2(args) -> int:
+    from repro.harness.fig_experiments import run_fig2
+    from repro.params import SimParams
+
+    for system in ("ezsegway", "p4update"):
+        result = run_fig2(system, params=SimParams(seed=args.seed))
+        delivered = len({o.seq for o in result.delivered_at_v4})
+        print(
+            f"{system:10s} probes={result.probes_sent:4d} "
+            f"looped_seqs={len(result.duplicates_at_v1):3d} "
+            f"ttl_losses={result.ttl_losses:3d} delivered={delivered:4d}"
+        )
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    from repro.harness.fig_experiments import run_fig4
+    from repro.harness.metrics import summarize
+    from repro.params import SimParams
+
+    times = {"p4update": [], "ezsegway": []}
+    for seed in range(args.runs):
+        params = SimParams(seed=seed).with_dionysus_install_delay()
+        for system in times:
+            times[system].append(run_fig4(system, params=params).u3_completion_ms)
+    for system, samples in times.items():
+        print(summarize(samples).row(system))
+    speedup = np.mean(times["ezsegway"]) / np.mean(times["p4update"])
+    print(f"speedup: {speedup:.1f}x (paper: about 4x)")
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    from repro.harness.experiment import compare_systems
+    from repro.harness.metrics import summarize
+    from repro.harness.scenarios import multi_flow_scenario, single_flow_scenario
+    from repro.params import SimParams
+
+    kind, topo_name = FIG7_SCENARIOS[args.scenario]
+    topo_factory = _topology(topo_name)
+    if kind == "single":
+        params = SimParams(seed=args.seed).with_dionysus_install_delay()
+        factory = lambda seed: single_flow_scenario(
+            topo_factory(), np.random.default_rng(seed)
+        )
+    else:
+        params = SimParams(seed=args.seed)
+        factory = lambda seed: multi_flow_scenario(
+            topo_factory(), np.random.default_rng(seed)
+        )
+    systems = ("p4update-sl", "p4update-dl", "ezsegway", "central")
+    comparison = compare_systems(factory, systems, params, runs=args.runs)
+    for system in systems:
+        print(summarize(comparison.times[system]).row(system))
+    print(f"skipped scenarios: {comparison.skipped}")
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    import subprocess
+
+    return subprocess.call(
+        [
+            sys.executable, "-m", "pytest",
+            "benchmarks/bench_fig8_preparation.py",
+            "--benchmark-only", "-s", "-q",
+        ]
+    )
+
+
+def cmd_run(args) -> int:
+    from repro.harness.spec import run_spec_file
+
+    result = run_spec_file(args.spec)
+    print(f"system:     {result.system}")
+    print(f"completed:  {result.completed}")
+    print(f"consistent: {result.consistency_ok} ({result.violations} violations)")
+    print(f"update time: {result.total_update_time_ms:.1f} ms (slowest flow)")
+    for flow_id, duration in sorted(result.per_flow_ms.items()):
+        print(f"  flow {flow_id}: {duration:.1f} ms")
+    return 0 if result.completed and result.consistency_ok else 1
+
+
+def cmd_demo(args) -> int:
+    from repro.consistency import LiveChecker
+    from repro.core.messages import UpdateType
+    from repro.harness.build import build_p4update_network
+    from repro.params import SimParams
+    from repro.topo import fig1_topology
+    from repro.topo.synthetic import FIG1_NEW_PATH, FIG1_OLD_PATH
+    from repro.traffic.flows import Flow
+
+    topo = fig1_topology()
+    deployment = build_p4update_network(topo, params=SimParams(seed=args.seed))
+    checker = LiveChecker(deployment.forwarding_state, deployment.network.trace)
+    flow = Flow.between("v0", "v7", size=1.0, old_path=list(FIG1_OLD_PATH))
+    deployment.install_flow(flow)
+    deployment.controller.update_flow(
+        flow.flow_id, list(FIG1_NEW_PATH), UpdateType.DUAL
+    )
+    deployment.run()
+    print(f"update complete: {deployment.controller.update_complete(flow.flow_id)}")
+    print(f"consistent at every instant: {checker.ok}")
+    for event in deployment.network.trace.of_kind("rule_change"):
+        print(f"  {event.time:8.2f} ms  {event.node} -> {event.detail.get('next_hop')}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="p4update-repro",
+        description="Regenerate the P4Update (CoNEXT'21) experiments.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("fig2", help="§4.1 inconsistent-update demo")
+    p4 = sub.add_parser("fig4", help="§4.2 fast-forward CDF")
+    p4.add_argument("--runs", type=int, default=30)
+    p7 = sub.add_parser("fig7", help="one Fig. 7 cell")
+    p7.add_argument("scenario", choices=sorted(FIG7_SCENARIOS))
+    p7.add_argument("--runs", type=int, default=15)
+    sub.add_parser("fig8", help="control-plane preparation ratios")
+    sub.add_parser("demo", help="traced Fig. 1 DL update walk-through")
+    prun = sub.add_parser("run", help="execute a JSON experiment spec")
+    prun.add_argument("spec", help="path to the spec file")
+    args = parser.parse_args(argv)
+    handler = {
+        "fig2": cmd_fig2,
+        "fig4": cmd_fig4,
+        "fig7": cmd_fig7,
+        "fig8": cmd_fig8,
+        "demo": cmd_demo,
+        "run": cmd_run,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,236 @@
+"""Runners for the paper's §4 demonstrations (Fig. 2 and Fig. 4).
+
+* :func:`run_fig2` — the out-of-order-update scenario: configuration
+  (c) is deployed while the control messages of (b) are still in
+  flight; probe traffic at 125 pps / TTL 64 exposes the loop
+  {v1, v2, v3} under ez-Segway and its absence under P4Update.
+* :func:`run_fig4` — the fast-forward scenario: a simple update U3 is
+  issued while the complex U2 is still ongoing; P4Update jumps ahead,
+  ez-Segway serializes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.consistency import LiveChecker
+from repro.core.messages import UIM, UpdateType
+from repro.harness.baselines_build import build_ezsegway_network
+from repro.harness.build import build_p4update_network
+from repro.harness.experiment import path_establishment_time
+from repro.harness.probes import (
+    ProbeSource,
+    deliveries,
+    duplicate_receives,
+    receives_at,
+    ttl_losses,
+)
+from repro.harness.scenarios import FastForwardScenario, InconsistentUpdateScenario
+from repro.params import SimParams
+from repro.sim.faults import CompositeFaultModel, FaultAction, ScriptedFault
+from repro.topo import fig2_topology, six_node_topology
+from repro.traffic.flows import Flow
+
+
+@dataclass
+class Fig2Result:
+    """Per-system outcome of the §4.1 experiment."""
+
+    system: str
+    probes_sent: int
+    received_at_v1: list
+    duplicates_at_v1: dict          # seq -> times seen (loops!)
+    delivered_at_v4: list
+    ttl_losses: int
+    loop_window_ms: float           # duration packets looped (0 = none)
+    consistency_violations: int
+
+
+def run_fig2(
+    system: str,
+    scenario: Optional[InconsistentUpdateScenario] = None,
+    params: Optional[SimParams] = None,
+) -> Fig2Result:
+    """Run the inconsistent-update demonstration for one system."""
+    scenario = scenario if scenario is not None else InconsistentUpdateScenario()
+    params = params if params is not None else SimParams()
+    if system in ("p4update", "p4update-sl"):
+        return _fig2_p4update(scenario, params)
+    if system == "ezsegway":
+        return _fig2_ezsegway(scenario, params)
+    raise ValueError(f"fig2 supports p4update and ezsegway, not {system!r}")
+
+
+def _fig2_flow(scenario: InconsistentUpdateScenario) -> Flow:
+    return Flow.between(
+        scenario.config_a[0], scenario.config_a[-1], size=1.0,
+        old_path=list(scenario.config_a),
+    )
+
+
+def _fig2_probe_phase(deployment, flow, scenario, start_ms: float, stop_ms: float):
+    source = ProbeSource(
+        deployment, flow.flow_id, flow.src,
+        rate_pps=scenario.probe_rate_pps, ttl=scenario.probe_ttl,
+    )
+    source.start(at=start_ms, stop_at=stop_ms)
+    return source
+
+
+def _fig2_p4update(scenario: InconsistentUpdateScenario, params: SimParams) -> Fig2Result:
+    topo = fig2_topology()
+    topo.set_controller(scenario.config_a[0])
+    dep = build_p4update_network(topo, params=params)
+    checker = LiveChecker(dep.forwarding_state, dep.network.trace)
+    flow = _fig2_flow(scenario)
+    dep.install_flow(flow)
+
+    # Delay every version-2 UIM (configuration (b)): the controller
+    # sent it, the network holds it, the controller is oblivious.
+    dep.network.control_fault_model = CompositeFaultModel([
+        ScriptedFault(
+            matches=lambda m: isinstance(m, UIM) and m.version == 2,
+            action=FaultAction.DELAY,
+            extra_delay_ms=scenario.b_delay_ms,
+        )
+    ])
+
+    source = _fig2_probe_phase(
+        dep, flow, scenario, start_ms=1.0,
+        stop_ms=scenario.b_delay_ms + 700.0,
+    )
+    # (b) then (c), back to back: (b)'s messages are in-flight-delayed.
+    dep.controller.update_flow(flow.flow_id, list(scenario.config_b), UpdateType.SINGLE)
+    dep.controller.update_flow(flow.flow_id, list(scenario.config_c), UpdateType.SINGLE)
+    dep.run(until=scenario.b_delay_ms + 1500.0)
+
+    return _fig2_collect("p4update", dep.network.trace, flow, source, checker)
+
+
+def _fig2_ezsegway(scenario: InconsistentUpdateScenario, params: SimParams) -> Fig2Result:
+    topo = fig2_topology()
+    topo.set_controller(scenario.config_a[0])
+    dep = build_ezsegway_network(topo, params=params)
+    checker = LiveChecker(dep.forwarding_state, dep.network.trace)
+    flow = _fig2_flow(scenario)
+    dep.install_flow(flow)
+
+    from repro.baselines.ezsegway import RoleMessage
+
+    dep.network.control_fault_model = CompositeFaultModel([
+        ScriptedFault(
+            matches=lambda m: isinstance(m, RoleMessage) and m.update_id == 1,
+            action=FaultAction.DELAY,
+            extra_delay_ms=scenario.b_delay_ms,
+        )
+    ])
+
+    source = _fig2_probe_phase(
+        dep, flow, scenario, start_ms=1.0,
+        stop_ms=scenario.b_delay_ms + 700.0,
+    )
+    # (b) pushed first (update 1, delayed in flight); the controller —
+    # believing it done (inconsistent view, [69]) — pushes (c) against
+    # the believed state.  We model the oblivious controller by
+    # clearing the active-update serialisation between the pushes.
+    dep.controller.update_flow(flow.flow_id, list(scenario.config_b))
+    dep.controller.active_updates.pop(flow.flow_id, None)
+    dep.controller.update_flow(flow.flow_id, list(scenario.config_c))
+    dep.run(until=scenario.b_delay_ms + 1500.0)
+
+    return _fig2_collect("ezsegway", dep.network.trace, flow, source, checker)
+
+
+def _fig2_collect(system, trace, flow, source, checker) -> Fig2Result:
+    at_v1 = receives_at(trace, "v1", flow.flow_id)
+    dups = duplicate_receives(at_v1)
+    losses = ttl_losses(trace, flow.flow_id)
+    dup_times = [o.time for o in at_v1 if o.seq in dups]
+    loop_window = (max(dup_times) - min(dup_times)) if dup_times else 0.0
+    return Fig2Result(
+        system=system,
+        probes_sent=source.sent,
+        received_at_v1=at_v1,
+        duplicates_at_v1=dups,
+        delivered_at_v4=deliveries(trace, flow.flow_id),
+        ttl_losses=len(losses),
+        loop_window_ms=loop_window,
+        consistency_violations=len(checker.violations),
+    )
+
+
+# -- Fig. 4 ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig4Result:
+    """Completion time of U3, measured from its issue instant."""
+
+    system: str
+    u3_completion_ms: float
+    completed: bool
+    consistency_violations: int
+
+
+def run_fig4(
+    system: str,
+    scenario: Optional[FastForwardScenario] = None,
+    params: Optional[SimParams] = None,
+) -> Fig4Result:
+    """Run the §4.2 two-consecutive-update scenario for one system."""
+    scenario = scenario if scenario is not None else FastForwardScenario()
+    params = params if params is not None else SimParams()
+    topo = six_node_topology()
+    topo.set_controller(scenario.initial[0])
+
+    flow = Flow.between(
+        scenario.initial[0], scenario.initial[-1], size=1.0,
+        old_path=list(scenario.initial),
+    )
+
+    if system in ("p4update", "p4update-sl", "p4update-dl"):
+        dep = build_p4update_network(topo, params=params)
+        checker = LiveChecker(dep.forwarding_state, dep.network.trace)
+        dep.install_flow(flow)
+        dep.controller.update_flow(flow.flow_id, list(scenario.u2))
+        dep.network.engine.schedule(
+            scenario.u3_delay_ms,
+            lambda: dep.controller.update_flow(flow.flow_id, list(scenario.u3)),
+        )
+        dep.run()
+        established = path_establishment_time(
+            dep.network.trace, flow.flow_id, list(scenario.u3), list(scenario.initial)
+        )
+        completed = established != float("inf")
+        return Fig4Result(
+            system=system,
+            u3_completion_ms=established - scenario.u3_delay_ms,
+            completed=completed,
+            consistency_violations=len(checker.violations),
+        )
+
+    if system == "ezsegway":
+        dep = build_ezsegway_network(topo, params=params)
+        checker = LiveChecker(dep.forwarding_state, dep.network.trace)
+        dep.install_flow(flow)
+        dep.controller.update_flow(flow.flow_id, list(scenario.u2))
+        dep.network.engine.schedule(
+            scenario.u3_delay_ms,
+            lambda: dep.controller.update_flow(flow.flow_id, list(scenario.u3)),
+        )
+        dep.run()
+        established = path_establishment_time(
+            dep.network.trace, flow.flow_id, list(scenario.u3), list(scenario.initial)
+        )
+        completed = established != float("inf")
+        return Fig4Result(
+            system="ezsegway",
+            u3_completion_ms=established - scenario.u3_delay_ms,
+            completed=completed,
+            consistency_violations=len(checker.violations),
+        )
+
+    raise ValueError(f"fig4 supports p4update and ezsegway, not {system!r}")

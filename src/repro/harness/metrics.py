@@ -1,0 +1,65 @@
+"""Metrics helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def cdf_points(samples: Sequence[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as sorted (value, probability) points."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    return [(value, (i + 1) / n) for i, value in enumerate(ordered)]
+
+
+def improvement(baseline: Sequence[float], candidate: Sequence[float]) -> float:
+    """Mean relative improvement of candidate over baseline, in percent.
+
+    Positive = candidate is faster (smaller values).  Matches the
+    paper's "-28.6 %" style of reporting.
+    """
+    base = float(np.mean(baseline))
+    cand = float(np.mean(candidate))
+    if base == 0:
+        raise ValueError("baseline mean is zero")
+    return (base - cand) / base * 100.0
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Distribution summary for one series of update times."""
+
+    mean: float
+    median: float
+    p10: float
+    p90: float
+    minimum: float
+    maximum: float
+    n: int
+
+    def row(self, label: str) -> str:
+        return (
+            f"{label:<28s} n={self.n:3d}  mean={self.mean:9.2f}  "
+            f"median={self.median:9.2f}  p10={self.p10:9.2f}  "
+            f"p90={self.p90:9.2f}  min={self.minimum:9.2f}  max={self.maximum:9.2f}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    if not samples:
+        raise ValueError("no samples")
+    arr = np.asarray(samples, dtype=float)
+    return Summary(
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p10=float(np.percentile(arr, 10)),
+        p90=float(np.percentile(arr, 90)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        n=len(arr),
+    )

@@ -1,0 +1,42 @@
+"""Behavioural model of a P4 programmable data plane.
+
+This package replaces BMv2.  It models the pieces of P4-16 that
+P4Update's data-plane program uses (paper §2.1, §8):
+
+* customisable **headers** extracted by a parser and re-emitted by a
+  deparser (:mod:`repro.p4.packet`);
+* **match-action tables** with exact/ternary/LPM matching
+  (:mod:`repro.p4.tables`);
+* **register arrays** for stateful processing, writable from both the
+  control and the data plane (:mod:`repro.p4.registers`);
+* per-packet **metadata**, the **clone** and **resubmit** primitives,
+  and a CPU port (:mod:`repro.p4.pipeline`);
+* a :class:`repro.p4.switch.P4Switch` simulation node that runs a
+  pipeline with per-packet processing delay.
+"""
+
+from repro.p4.packet import Header, HeaderField, Packet
+from repro.p4.registers import RegisterArray, RegisterFile
+from repro.p4.tables import Table, TableEntry, MatchKind
+from repro.p4.pipeline import Pipeline, PipelineContext, PipelineProgram
+from repro.p4.switch import P4Switch, RuntimeAPI
+from repro.p4.compile import export_json, export_program, load_skeleton
+
+__all__ = [
+    "Header",
+    "HeaderField",
+    "Packet",
+    "RegisterArray",
+    "RegisterFile",
+    "Table",
+    "TableEntry",
+    "MatchKind",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineProgram",
+    "P4Switch",
+    "RuntimeAPI",
+    "export_json",
+    "export_program",
+    "load_skeleton",
+]

@@ -1,0 +1,151 @@
+"""BMv2-style JSON export of a pipeline program.
+
+The real artifact ships a P4-16 source compiled by ``p4c`` into the
+BMv2 JSON configuration.  This module produces the analogous artifact
+for a behavioural :class:`~repro.p4.pipeline.PipelineProgram`: a JSON
+document describing its header types, register arrays, tables and
+clone sessions — loadable back into a fresh program skeleton.
+
+The export is useful for (a) inspecting what state a program declares
+(the P4Update UIB of paper Table 1 is visible field-for-field), and
+(b) diffing two program versions, the way one would diff compiled
+BMv2 configs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.p4.packet import HeaderField, HeaderType
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.registers import RegisterFile
+from repro.p4.tables import MatchKind, Table
+
+FORMAT_VERSION = 1
+
+
+def export_program(
+    program: PipelineProgram,
+    name: str = "program",
+    header_types: Optional[dict[str, HeaderType]] = None,
+) -> dict:
+    """Serialise a program's declarations to a JSON-able dict."""
+    registers = []
+    for reg_name in program.registers.names():
+        array = program.registers[reg_name]
+        registers.append(
+            {"name": array.name, "size": array.size, "bitwidth": array.bits}
+        )
+    tables = []
+    for table in program.tables.values():
+        tables.append(
+            {
+                "name": table.name,
+                "key": [
+                    {"field": field, "match_type": kind.value}
+                    for field, kind in zip(table.key_fields, table.match_kinds)
+                ],
+                "default_action": table.default_action,
+                "entries": len(table.entries),
+            }
+        )
+    headers = []
+    for header_name, header_type in (header_types or {}).items():
+        headers.append(
+            {
+                "name": header_name,
+                "fields": [
+                    [field.name, field.bits] for field in header_type.fields.values()
+                ],
+            }
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "program": name,
+        "target": "behavioural-bmv2",
+        "header_types": headers,
+        "register_arrays": registers,
+        "pipelines": [
+            {
+                "name": "ingress",
+                "tables": tables,
+            }
+        ],
+        "clone_sessions": [
+            {"session": session, "port": port}
+            for session, port in sorted(program.clone_sessions.items())
+        ],
+    }
+
+
+def export_json(program: PipelineProgram, name: str = "program", **kwargs) -> str:
+    """The export as a canonical JSON string (stable for diffing)."""
+    return json.dumps(export_program(program, name, **kwargs), indent=2, sort_keys=True)
+
+
+class ConfigError(ValueError):
+    """Raised for malformed configuration documents."""
+
+
+def load_skeleton(config: dict) -> PipelineProgram:
+    """Re-create a program *skeleton* (state declarations, no control
+    logic) from an exported configuration — the analogue of loading a
+    BMv2 JSON into the simple_switch target."""
+    if config.get("format_version") != FORMAT_VERSION:
+        raise ConfigError(f"unsupported format_version {config.get('format_version')!r}")
+    program = PipelineProgram()
+    for reg in config.get("register_arrays", []):
+        program.registers.define(reg["name"], reg["size"], reg["bitwidth"])
+    for pipeline in config.get("pipelines", []):
+        for table_cfg in pipeline.get("tables", []):
+            key_fields = [k["field"] for k in table_cfg["key"]]
+            match_kinds = [MatchKind(k["match_type"]) for k in table_cfg["key"]]
+            program.define_table(
+                Table(
+                    table_cfg["name"], key_fields, match_kinds,
+                    default_action=table_cfg.get("default_action"),
+                )
+            )
+    for session in config.get("clone_sessions", []):
+        program.set_clone_session(session["session"], session["port"])
+    return program
+
+
+def diff_configs(old: dict, new: dict) -> list[str]:
+    """Human-readable differences between two exported configs."""
+    changes: list[str] = []
+
+    def index(items, key):
+        return {item[key]: item for item in items}
+
+    old_regs = index(old.get("register_arrays", []), "name")
+    new_regs = index(new.get("register_arrays", []), "name")
+    for name in sorted(set(old_regs) | set(new_regs)):
+        if name not in new_regs:
+            changes.append(f"register removed: {name}")
+        elif name not in old_regs:
+            changes.append(f"register added: {name}")
+        elif old_regs[name] != new_regs[name]:
+            changes.append(
+                f"register resized: {name} "
+                f"{old_regs[name]['size']}x{old_regs[name]['bitwidth']}b -> "
+                f"{new_regs[name]['size']}x{new_regs[name]['bitwidth']}b"
+            )
+
+    def tables_of(config):
+        tables = {}
+        for pipeline in config.get("pipelines", []):
+            for table in pipeline.get("tables", []):
+                tables[table["name"]] = table
+        return tables
+
+    old_tables, new_tables = tables_of(old), tables_of(new)
+    for name in sorted(set(old_tables) | set(new_tables)):
+        if name not in new_tables:
+            changes.append(f"table removed: {name}")
+        elif name not in old_tables:
+            changes.append(f"table added: {name}")
+        elif old_tables[name]["key"] != new_tables[name]["key"]:
+            changes.append(f"table rekeyed: {name}")
+    return changes

@@ -1,0 +1,82 @@
+"""Register arrays — P4's stateful memory.
+
+Registers persist across packets and are writable from both the data
+plane (pipeline actions) and the control plane (runtime API), which is
+exactly the property P4Update exploits to apply new routing state "at
+the correct time" (paper §2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class RegisterArray:
+    """Fixed-size array of unsigned values of a given bit width."""
+
+    def __init__(self, name: str, size: int, bits: int = 32, initial: int = 0) -> None:
+        if size <= 0:
+            raise ValueError(f"register array {name!r} needs positive size")
+        if bits <= 0:
+            raise ValueError(f"register array {name!r} needs positive width")
+        self.name = name
+        self.size = size
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+        self._cells = [initial & self._mask] * size
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, index: int) -> int:
+        self._check(index)
+        self.reads += 1
+        return self._cells[index]
+
+    def write(self, index: int, value: int) -> None:
+        self._check(index)
+        self.writes += 1
+        self._cells[index] = int(value) & self._mask
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(
+                f"register {self.name!r} index {index} out of range [0, {self.size})"
+            )
+
+    def reset(self, value: int = 0) -> None:
+        self._cells = [value & self._mask] * self.size
+
+    def snapshot(self) -> list[int]:
+        return list(self._cells)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._cells)
+
+
+class RegisterFile:
+    """Named collection of register arrays belonging to one switch."""
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, RegisterArray] = {}
+
+    def define(self, name: str, size: int, bits: int = 32, initial: int = 0) -> RegisterArray:
+        if name in self._arrays:
+            raise ValueError(f"register array {name!r} already defined")
+        array = RegisterArray(name, size, bits, initial)
+        self._arrays[name] = array
+        return array
+
+    def __getitem__(self, name: str) -> RegisterArray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise KeyError(f"no register array {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def names(self) -> list[str]:
+        return sorted(self._arrays)

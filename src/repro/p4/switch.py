@@ -1,0 +1,141 @@
+"""The P4 switch simulation node.
+
+Couples a :class:`~repro.p4.pipeline.Pipeline` to the event simulator:
+every arriving packet traverses the pipeline after a processing delay;
+resubmitted packets re-enter ingress after the resubmit interval; CPU
+punts travel over the control channel.
+
+The :class:`RuntimeAPI` is the P4Runtime stand-in: the controller's
+UIMs are applied through it (table entries, register writes, clone
+sessions) — mirroring how the original artifact writes BMv2 state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.p4.packet import Packet
+from repro.p4.pipeline import Pipeline, PipelineProgram
+from repro.params import SimParams
+from repro.sim.node import Node
+
+
+class RuntimeAPI:
+    """Control-plane access to one switch's tables and registers."""
+
+    def __init__(self, program: PipelineProgram) -> None:
+        self._program = program
+
+    def write_register(self, array: str, index: int, value: int) -> None:
+        self._program.registers[array].write(index, value)
+
+    def read_register(self, array: str, index: int) -> int:
+        return self._program.registers[array].read(index)
+
+    def add_table_entry(self, table: str, entry) -> None:
+        self._program.table(table).add(entry)
+
+    def remove_table_entry(self, table: str, key: tuple) -> bool:
+        return self._program.table(table).remove(key)
+
+    def set_clone_session(self, session: int, port: int) -> None:
+        self._program.set_clone_session(session, port)
+
+
+class P4Switch(Node):
+    """A switch running one P4 program.
+
+    Subclasses (or the program itself) may install:
+
+    * ``on_punt(switch, punt)`` — called for CPU-bound packets;
+    * ``on_forward(switch, packet, port)`` — observation hook used by
+      probes and the consistency checker.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        program: PipelineProgram,
+        params: Optional[SimParams] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(name)
+        self.program = program
+        self.pipeline = Pipeline(program)
+        self.params = params if params is not None else SimParams()
+        self.rng = rng if rng is not None else self.params.rng()
+        self.runtime = RuntimeAPI(program)
+        self.on_punt: Optional[Callable[["P4Switch", Any], None]] = None
+        self.on_forward: Optional[Callable[["P4Switch", Packet, int], None]] = None
+        self.packets_processed = 0
+        self.packets_dropped = 0
+        self.resubmissions = 0
+        # The software target has ONE pipeline: packets serialise
+        # through it.  This is what makes extra control messages (e.g.
+        # DL's second-layer UNMs and resubmissions) cost real time
+        # under load (paper §7.5, §11 "Data Plane Overhead").
+        self._pipeline_busy_until = 0.0
+
+    # -- reception -----------------------------------------------------------
+
+    def handle_message(self, message: Any, in_port: int) -> None:
+        if not isinstance(message, Packet):
+            raise TypeError(
+                f"{self.name}: data-plane message must be a Packet, got {type(message)!r}"
+            )
+        self._enqueue(message, in_port, 0)
+
+    def _enqueue(self, packet: Packet, in_port: int, resubmit_count: int) -> None:
+        """FIFO admission into the single pipeline."""
+        service = self.params.pipeline_delay.sample(self.rng)
+        start = max(self.engine.now, self._pipeline_busy_until)
+        finish = start + service
+        self._pipeline_busy_until = finish
+        self.engine.schedule(
+            finish - self.engine.now, self._run_pipeline, packet, in_port, resubmit_count
+        )
+
+    # -- pipeline execution ------------------------------------------------------
+
+    def _run_pipeline(self, packet: Packet, in_port: int, resubmit_count: int) -> None:
+        self.packets_processed += 1
+        result = self.pipeline.process(packet, in_port, resubmit_count=resubmit_count)
+
+        for punt in result.punts:
+            if self.on_punt is not None:
+                self.on_punt(self, punt)
+
+        for port, clone in result.clones:
+            self._emit(clone, port)
+
+        if result.resubmit:
+            self.resubmissions += 1
+            if resubmit_count >= self.params.max_resubmits:
+                self.packets_dropped += 1
+                return
+            self.engine.schedule(
+                self.params.resubmit_interval_ms,
+                self._enqueue,
+                packet,
+                in_port,
+                resubmit_count + 1,
+            )
+            return
+
+        if result.dropped or result.egress_port is None:
+            self.packets_dropped += 1
+            return
+        self._emit(result.packet, result.egress_port)
+
+    def _emit(self, packet: Packet, port: int) -> None:
+        if self.on_forward is not None:
+            self.on_forward(self, packet, port)
+        self.send(port, packet)
+
+    # -- local origination --------------------------------------------------------
+
+    def inject(self, packet: Packet, in_port: int = 0) -> None:
+        """Feed a locally generated packet into the pipeline."""
+        self._enqueue(packet, in_port, 0)

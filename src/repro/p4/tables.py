@@ -1,0 +1,153 @@
+"""Match-action tables.
+
+Supports the match kinds used by the P4Update program: ``exact``
+(forwarding and clone-session tables), ``ternary`` and ``lpm`` (for
+completeness and tests).  An entry binds a key to an action name plus
+action parameters; the pipeline looks actions up on the program.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+class MatchKind(enum.Enum):
+    EXACT = "exact"
+    TERNARY = "ternary"
+    LPM = "lpm"
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One table entry: match spec -> (action, params).
+
+    ``key`` is a tuple with one element per key field:
+      * exact: the value;
+      * ternary: ``(value, mask)``;
+      * lpm: ``(value, prefix_len)``.
+    ``priority`` breaks ternary ties (higher wins).
+    """
+
+    key: tuple
+    action: str
+    params: tuple = ()
+    priority: int = 0
+
+
+@dataclass
+class TableHit:
+    entry: TableEntry
+    action: str
+    params: tuple
+
+
+class Table:
+    """A single match-action table."""
+
+    def __init__(
+        self,
+        name: str,
+        key_fields: Sequence[str],
+        match_kinds: Optional[Sequence[MatchKind]] = None,
+        default_action: Optional[str] = None,
+        default_params: tuple = (),
+    ) -> None:
+        self.name = name
+        self.key_fields = tuple(key_fields)
+        if match_kinds is None:
+            match_kinds = [MatchKind.EXACT] * len(self.key_fields)
+        if len(match_kinds) != len(self.key_fields):
+            raise ValueError("one match kind per key field required")
+        self.match_kinds = tuple(match_kinds)
+        self.default_action = default_action
+        self.default_params = default_params
+        self._entries: list[TableEntry] = []
+        self._exact_index: dict[tuple, TableEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def entries(self) -> list[TableEntry]:
+        return list(self._entries)
+
+    def _all_exact(self) -> bool:
+        return all(kind is MatchKind.EXACT for kind in self.match_kinds)
+
+    def add(self, entry: TableEntry) -> None:
+        if len(entry.key) != len(self.key_fields):
+            raise ValueError(
+                f"table {self.name!r} expects {len(self.key_fields)} key parts"
+            )
+        self._entries.append(entry)
+        if self._all_exact():
+            self._exact_index[entry.key] = entry
+
+    def remove(self, key: tuple) -> bool:
+        """Remove the first entry with the given key; True if removed."""
+        for i, entry in enumerate(self._entries):
+            if entry.key == key:
+                del self._entries[i]
+                if self._all_exact():
+                    self._exact_index.pop(key, None)
+                    # Re-index in case of duplicates of the same key.
+                    for other in self._entries:
+                        self._exact_index.setdefault(other.key, other)
+                return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._exact_index.clear()
+
+    def lookup(self, key_values: Sequence[Any]) -> Optional[TableHit]:
+        """Match ``key_values`` against the entries."""
+        key_values = tuple(key_values)
+        if self._all_exact():
+            entry = self._exact_index.get(key_values)
+        else:
+            entry = self._general_lookup(key_values)
+        if entry is None:
+            self.misses += 1
+            if self.default_action is not None:
+                return TableHit(
+                    entry=TableEntry(key=(), action=self.default_action),
+                    action=self.default_action,
+                    params=self.default_params,
+                )
+            return None
+        self.hits += 1
+        return TableHit(entry=entry, action=entry.action, params=entry.params)
+
+    def _general_lookup(self, key_values: tuple) -> Optional[TableEntry]:
+        best: Optional[TableEntry] = None
+        best_rank: tuple = ()
+        for entry in self._entries:
+            rank = self._match_rank(entry, key_values)
+            if rank is None:
+                continue
+            if best is None or rank > best_rank:
+                best, best_rank = entry, rank
+        return best
+
+    def _match_rank(self, entry: TableEntry, key_values: tuple):
+        """None when the entry does not match; otherwise a sortable rank
+        (lpm prefix length sum, then priority)."""
+        prefix_total = 0
+        for kind, part, value in zip(self.match_kinds, entry.key, key_values):
+            if kind is MatchKind.EXACT:
+                if part != value:
+                    return None
+            elif kind is MatchKind.TERNARY:
+                want, mask = part
+                if (value & mask) != (want & mask):
+                    return None
+            elif kind is MatchKind.LPM:
+                want, prefix_len = part
+                if prefix_len:
+                    shift = max(0, 32 - prefix_len)
+                    if (value >> shift) != (want >> shift):
+                        return None
+                prefix_total += prefix_len
+        return (prefix_total, entry.priority)

@@ -1,0 +1,135 @@
+"""Heap-based discrete-event engine.
+
+The engine keeps a priority queue of :class:`Event` objects ordered by
+simulated time (milliseconds).  Ties are broken by insertion order so
+that runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Engine.schedule` and can be
+    cancelled with :meth:`Engine.cancel` (or :meth:`cancel` directly).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.3f} #{self.seq}{state} {self.callback!r}>"
+
+
+class EngineError(RuntimeError):
+    """Raised on invalid engine operations (e.g. scheduling in the past)."""
+
+
+class Engine:
+    """Discrete-event loop with a simulated millisecond clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` ms from now.
+
+        ``delay`` must be non-negative; zero-delay events run after the
+        current event completes, in FIFO order.
+        """
+        if delay < 0:
+            raise EngineError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self._now + delay, next(self._counter), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        event.cancel()
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None when the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` ms is reached, or
+        ``max_events`` events have executed.
+
+        ``until`` is an absolute simulated time; when the horizon is hit
+        the clock is advanced to exactly ``until``.
+        """
+        self._running = True
+        executed = 0
+        try:
+            while self._running:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop a run() in progress after the current event."""
+        self._running = False
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,131 @@
+"""Fault injection for control and data messages.
+
+The paper's verification model (§5) assumes update messages may be
+dropped, delayed, reordered or corrupted.  A :class:`FaultModel` sits in
+front of message delivery in :class:`repro.sim.network.Network` and
+decides per message what happens to it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+
+class FaultAction(enum.Enum):
+    """What to do with a message about to be delivered."""
+
+    DELIVER = "deliver"
+    DROP = "drop"
+    DELAY = "delay"
+    DUPLICATE = "duplicate"
+    CORRUPT = "corrupt"
+
+
+@dataclass
+class FaultDecision:
+    """Outcome of a fault-model query for one message."""
+
+    action: FaultAction = FaultAction.DELIVER
+    extra_delay_ms: float = 0.0
+    mutate: Optional[Callable[[Any], Any]] = None
+
+
+class FaultModel:
+    """Probabilistic fault injector.
+
+    Probabilities apply independently per message; precedence is
+    drop > corrupt > duplicate > delay.  A ``selector`` predicate can
+    scope faults to particular messages (e.g. only UIMs of version 2,
+    which is how the Fig. 2 delayed-update scenario is built).
+    """
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        drop_prob: float = 0.0,
+        delay_prob: float = 0.0,
+        delay_ms: float = 0.0,
+        duplicate_prob: float = 0.0,
+        corrupt_prob: float = 0.0,
+        corruptor: Optional[Callable[[Any], Any]] = None,
+        selector: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.drop_prob = drop_prob
+        self.delay_prob = delay_prob
+        self.delay_ms = delay_ms
+        self.duplicate_prob = duplicate_prob
+        self.corrupt_prob = corrupt_prob
+        self.corruptor = corruptor
+        self.selector = selector
+        self.dropped: int = 0
+        self.delayed: int = 0
+        self.duplicated: int = 0
+        self.corrupted: int = 0
+
+    def decide(self, message: Any) -> FaultDecision:
+        """Classify one message delivery."""
+        if self.selector is not None and not self.selector(message):
+            return FaultDecision()
+        roll = self.rng.random()
+        if roll < self.drop_prob:
+            self.dropped += 1
+            return FaultDecision(action=FaultAction.DROP)
+        roll = self.rng.random()
+        if self.corruptor is not None and roll < self.corrupt_prob:
+            self.corrupted += 1
+            return FaultDecision(action=FaultAction.CORRUPT, mutate=self.corruptor)
+        roll = self.rng.random()
+        if roll < self.duplicate_prob:
+            self.duplicated += 1
+            return FaultDecision(action=FaultAction.DUPLICATE)
+        roll = self.rng.random()
+        if roll < self.delay_prob:
+            self.delayed += 1
+            return FaultDecision(action=FaultAction.DELAY, extra_delay_ms=self.delay_ms)
+        return FaultDecision()
+
+
+@dataclass
+class ScriptedFault:
+    """Deterministic fault applied to messages matching a predicate.
+
+    Used by scenario builders for reproducible adversaries, e.g. "delay
+    every version-2 UIM by 300 ms" (Fig. 2) or "drop the first UNM that
+    crosses link (v2, v3)".
+    """
+
+    matches: Callable[[Any], bool]
+    action: FaultAction
+    extra_delay_ms: float = 0.0
+    mutate: Optional[Callable[[Any], Any]] = None
+    max_hits: Optional[int] = None
+    hits: int = field(default=0, init=False)
+
+    def decide(self, message: Any) -> FaultDecision:
+        if self.max_hits is not None and self.hits >= self.max_hits:
+            return FaultDecision()
+        if not self.matches(message):
+            return FaultDecision()
+        self.hits += 1
+        return FaultDecision(
+            action=self.action, extra_delay_ms=self.extra_delay_ms, mutate=self.mutate
+        )
+
+
+class CompositeFaultModel:
+    """Apply a list of scripted faults, first match wins."""
+
+    def __init__(self, faults: list) -> None:
+        self.faults = list(faults)
+
+    def decide(self, message: Any) -> FaultDecision:
+        for fault in self.faults:
+            decision = fault.decide(message)
+            if decision.action is not FaultAction.DELIVER:
+                return decision
+        return FaultDecision()

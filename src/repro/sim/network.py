@@ -1,0 +1,253 @@
+"""The simulated network: nodes, links, control channels, delivery.
+
+Delivery semantics:
+
+* data-plane: FIFO per directed link, delay = link latency (+ optional
+  per-hop jitter from the parameter set);
+* control-plane: per-switch control channel latency, plus a
+  single-threaded controller service queue — the controller processes
+  one message at a time, which is what makes the Central baseline pay
+  for every acknowledgement round (paper §9.1, [40]).
+
+A :class:`FaultModel` (or any object with a compatible ``decide``) can
+be installed to drop/delay/duplicate/corrupt messages in flight.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.faults import FaultAction, FaultDecision
+from repro.sim.links import ControlChannel, Link
+from repro.sim.node import Node
+from repro.sim.trace import (
+    KIND_MSG_DROP,
+    KIND_MSG_RECV,
+    KIND_MSG_SEND,
+    Trace,
+)
+
+
+class Network:
+    """Container wiring nodes together and delivering messages."""
+
+    def __init__(self, engine: Optional[Engine] = None, trace: Optional[Trace] = None) -> None:
+        self.engine = engine if engine is not None else Engine()
+        self.trace = trace if trace is not None else Trace()
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+        # (node, port) -> Link
+        self._port_map: dict[tuple[str, int], Link] = {}
+        # (node_a, node_b) -> Link  (both orientations)
+        self._adjacency: dict[tuple[str, str], Link] = {}
+        self.control_channels: dict[str, ControlChannel] = {}
+        self.controller_name: Optional[str] = None
+        self.fault_model = None
+        self.control_fault_model = None
+        # Single-threaded controller service queue state.
+        self.controller_service_busy_until = 0.0
+
+    # -- construction ----------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        node.attach(self)
+        return node
+
+    def add_link(self, link: Link) -> Link:
+        for key in ((link.node_a, link.port_a), (link.node_b, link.port_b)):
+            if key in self._port_map:
+                raise ValueError(f"port already in use: {key}")
+        for name in (link.node_a, link.node_b):
+            if name not in self.nodes:
+                raise ValueError(f"unknown node {name!r}")
+        self.links.append(link)
+        self._port_map[(link.node_a, link.port_a)] = link
+        self._port_map[(link.node_b, link.port_b)] = link
+        self._adjacency[(link.node_a, link.node_b)] = link
+        self._adjacency[(link.node_b, link.node_a)] = link
+        return link
+
+    def set_controller(self, name: str) -> None:
+        if name not in self.nodes:
+            raise ValueError(f"unknown node {name!r}")
+        self.controller_name = name
+
+    def add_control_channel(self, channel: ControlChannel) -> None:
+        self.control_channels[channel.switch] = channel
+
+    # -- lookup ------------------------------------------------------------
+
+    def link_at(self, node: str, port: int) -> Link:
+        try:
+            return self._port_map[(node, port)]
+        except KeyError:
+            raise KeyError(f"no link on {node!r} port {port}") from None
+
+    def link_between(self, node_a: str, node_b: str) -> Link:
+        try:
+            return self._adjacency[(node_a, node_b)]
+        except KeyError:
+            raise KeyError(f"no link between {node_a!r} and {node_b!r}") from None
+
+    def port_towards(self, node: str, neighbor: str) -> int:
+        """The local port on ``node`` whose link leads to ``neighbor``."""
+        link = self.link_between(node, neighbor)
+        if link.node_a == node:
+            return link.port_a
+        return link.port_b
+
+    def neighbor_on_port(self, node: str, port: int) -> str:
+        return self.link_at(node, port).other(node)
+
+    # -- simulation ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke every node's start hook at t=0."""
+        for node in self.nodes.values():
+            node.start()
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        self.engine.run(until=until, max_events=max_events)
+
+    # -- data-plane delivery ---------------------------------------------------
+
+    def transmit(self, sender: str, port: int, message: Any) -> None:
+        link = self.link_at(sender, port)
+        dest, dest_port = link.endpoint(sender)
+        self.trace.record(
+            self.engine.now, KIND_MSG_SEND, sender,
+            dest=dest, port=port, message=describe(message),
+        )
+        decision = self._fault_decision(self.fault_model, message)
+        if decision.action is FaultAction.DROP:
+            self.trace.record(
+                self.engine.now, KIND_MSG_DROP, sender,
+                dest=dest, message=describe(message),
+            )
+            return
+        delay = link.latency_ms + decision.extra_delay_ms
+        payload = message
+        if decision.action is FaultAction.CORRUPT and decision.mutate is not None:
+            payload = decision.mutate(copy.deepcopy(message))
+        self.engine.schedule(delay, self._deliver, dest, dest_port, payload)
+        if decision.action is FaultAction.DUPLICATE:
+            self.engine.schedule(delay, self._deliver, dest, dest_port, copy.deepcopy(message))
+
+    def _deliver(self, dest: str, dest_port: int, message: Any) -> None:
+        node = self.nodes.get(dest)
+        if node is None:
+            return
+        self.trace.record(
+            self.engine.now, KIND_MSG_RECV, dest,
+            port=dest_port, message=describe(message),
+        )
+        node.handle_message(message, dest_port)
+
+    # -- control-plane delivery ---------------------------------------------------
+
+    def transmit_control(self, sender: str, message: Any) -> None:
+        """Control channel between a switch and the controller.
+
+        When the sender is the controller, the message must carry a
+        ``target`` attribute naming the destination switch.  When the
+        sender is a switch, delivery goes to the controller and passes
+        through the single-threaded controller service queue.
+        """
+        if self.controller_name is None:
+            raise RuntimeError("no controller registered")
+        decision = self._fault_decision(self.control_fault_model, message)
+        if decision.action is FaultAction.DROP:
+            self.trace.record(
+                self.engine.now, KIND_MSG_DROP, sender, message=describe(message),
+            )
+            return
+        payload = message
+        if decision.action is FaultAction.CORRUPT and decision.mutate is not None:
+            payload = decision.mutate(copy.deepcopy(message))
+
+        if sender == self.controller_name:
+            target = getattr(payload, "target", None)
+            if target is None:
+                raise ValueError("controller message lacks .target")
+            channel = self._channel_for(target)
+            delay = channel.delay() + decision.extra_delay_ms
+            self.trace.record(
+                self.engine.now, KIND_MSG_SEND, sender,
+                dest=target, message=describe(payload),
+            )
+            self.engine.schedule(delay, self._deliver_control, target, payload, sender)
+            if decision.action is FaultAction.DUPLICATE:
+                self.engine.schedule(
+                    delay, self._deliver_control, target, copy.deepcopy(payload), sender
+                )
+        else:
+            channel = self._channel_for(sender)
+            delay = channel.delay() + decision.extra_delay_ms
+            self.trace.record(
+                self.engine.now, KIND_MSG_SEND, sender,
+                dest=self.controller_name, message=describe(payload),
+            )
+            arrival = self.engine.now + delay
+            self.engine.schedule(
+                delay, self._enqueue_at_controller, sender, payload, arrival
+            )
+
+    def _channel_for(self, switch: str) -> ControlChannel:
+        channel = self.control_channels.get(switch)
+        if channel is None:
+            raise KeyError(f"no control channel for {switch!r}")
+        return channel
+
+    def _enqueue_at_controller(self, sender: str, message: Any, arrival: float) -> None:
+        """Messages to the controller serialise through one service queue.
+
+        The controller handles one message at a time (paper: single
+        thread); service time is supplied by the controller node via
+        ``control_service_time()`` if present, else zero.
+        """
+        controller = self.nodes[self.controller_name]
+        service_time = 0.0
+        provider = getattr(controller, "control_service_time", None)
+        if provider is not None:
+            service_time = provider()
+        backlog = 0.0
+        backlog_provider = getattr(controller, "control_queue_delay", None)
+        if backlog_provider is not None:
+            backlog = backlog_provider()
+        start = max(self.engine.now, self.controller_service_busy_until) + backlog
+        finish = start + service_time
+        self.controller_service_busy_until = finish
+        self.engine.schedule(
+            finish - self.engine.now, self._deliver_control,
+            self.controller_name, message, sender,
+        )
+
+    def _deliver_control(self, dest: str, message: Any, sender: str) -> None:
+        node = self.nodes.get(dest)
+        if node is None:
+            return
+        self.trace.record(
+            self.engine.now, KIND_MSG_RECV, dest,
+            sender=sender, message=describe(message),
+        )
+        node.handle_control(message, sender)
+
+    # -- faults -------------------------------------------------------------------
+
+    def _fault_decision(self, model, message: Any) -> FaultDecision:
+        if model is None:
+            return FaultDecision()
+        return model.decide(message)
+
+
+def describe(message: Any) -> str:
+    """Short human-readable tag for a message, used in traces."""
+    describe_fn = getattr(message, "describe", None)
+    if callable(describe_fn):
+        return describe_fn()
+    return type(message).__name__

@@ -1,0 +1,66 @@
+"""Base class for simulated network nodes (switches, controller, hosts)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+
+
+class Node:
+    """A named participant in the simulated network.
+
+    Subclasses override :meth:`handle_message` (data-plane packets
+    arriving on a port) and :meth:`handle_control` (control-channel
+    messages from/to the controller).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.network: Optional["Network"] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def attach(self, network: "Network") -> None:
+        """Called by :class:`Network` when the node is added."""
+        self.network = network
+
+    def start(self) -> None:
+        """Hook invoked once when the simulation starts."""
+
+    # -- messaging -----------------------------------------------------
+
+    @property
+    def engine(self):
+        if self.network is None:
+            raise RuntimeError(f"node {self.name!r} is not attached to a network")
+        return self.network.engine
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def send(self, port: int, message: Any) -> None:
+        """Emit ``message`` on data-plane ``port``."""
+        if self.network is None:
+            raise RuntimeError(f"node {self.name!r} is not attached to a network")
+        self.network.transmit(self.name, port, message)
+
+    def send_control(self, message: Any) -> None:
+        """Send ``message`` over the control channel (to the controller,
+        or — when called by the controller — to ``message.target``)."""
+        if self.network is None:
+            raise RuntimeError(f"node {self.name!r} is not attached to a network")
+        self.network.transmit_control(self.name, message)
+
+    # -- handlers (override in subclasses) ------------------------------
+
+    def handle_message(self, message: Any, in_port: int) -> None:
+        """Receive a data-plane message on ``in_port``."""
+
+    def handle_control(self, message: Any, sender: str) -> None:
+        """Receive a control-channel message from ``sender``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,82 @@
+"""Time-stamped event tracing.
+
+Every forwarding-state change, message send/receive and verification
+outcome is appended to a :class:`Trace`.  The consistency checker
+replays traces to assert the paper's invariants at every instant, and
+the Fig. 2 bench extracts per-node packet-receive series from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence at a simulated time."""
+
+    time: float
+    kind: str
+    node: str
+    detail: dict
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.time:9.3f} ms {self.kind} @{self.node} {self.detail}>"
+
+
+# Canonical event kinds used across the codebase.  Modules may add
+# their own, but these are the ones the checker and benches rely on.
+KIND_RULE_CHANGE = "rule_change"        # forwarding rule updated
+KIND_MSG_SEND = "msg_send"
+KIND_MSG_RECV = "msg_recv"
+KIND_MSG_DROP = "msg_drop"
+KIND_VERIFY_OK = "verify_ok"
+KIND_VERIFY_FAIL = "verify_fail"
+KIND_PACKET_RECV = "packet_recv"        # data packet seen at a node
+KIND_PACKET_LOST = "packet_lost"        # TTL expiry or blackhole
+KIND_PACKET_DELIVERED = "packet_delivered"
+KIND_UPDATE_DONE = "update_done"        # controller saw UFM
+KIND_CAPACITY = "capacity"              # link reservation change
+KIND_SCHED = "sched"                    # congestion scheduler decision
+
+
+class Trace:
+    """Append-only event log."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
+
+    def record(self, time: float, kind: str, node: str, **detail: Any) -> TraceEvent:
+        event = TraceEvent(time=time, kind=kind, node=node, detail=detail)
+        self.events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``callback`` for every future event (live checking)."""
+        self._subscribers.append(callback)
+
+    def of_kind(self, *kinds: str) -> list[TraceEvent]:
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def at_node(self, node: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.node == node]
+
+    def between(self, start: float, end: float) -> list[TraceEvent]:
+        return [e for e in self.events if start <= e.time <= end]
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        for event in reversed(self.events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

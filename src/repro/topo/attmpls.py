@@ -1,0 +1,114 @@
+"""AttMpls — AT&T's North American MPLS backbone (Topology Zoo).
+
+25 nodes, 56 edges (the paper's 2-tuple).  The Topology Zoo graph is a
+dense mesh over major US cities; we reproduce that density with an
+explicit edge list over 25 metro sites.  Coordinates feed the latency
+model only.
+"""
+
+from __future__ import annotations
+
+from repro.topo.graph import Topology
+
+ATT_SITES = {
+    "seattle": (47.61, -122.33),
+    "portland": (45.52, -122.68),
+    "sanfrancisco": (37.77, -122.42),
+    "sanjose": (37.34, -121.89),
+    "losangeles": (34.05, -118.24),
+    "sandiego": (32.72, -117.16),
+    "phoenix": (33.45, -112.07),
+    "saltlake": (40.76, -111.89),
+    "denver": (39.74, -104.99),
+    "dallas": (32.78, -96.80),
+    "austin": (30.27, -97.74),
+    "houston": (29.76, -95.37),
+    "kansascity": (39.10, -94.58),
+    "stlouis": (38.63, -90.20),
+    "chicago": (41.88, -87.63),
+    "nashville": (36.16, -86.78),
+    "atlanta": (33.75, -84.39),
+    "orlando": (28.54, -81.38),
+    "miami": (25.76, -80.19),
+    "cleveland": (41.50, -81.69),
+    "detroit": (42.33, -83.05),
+    "washington": (38.91, -77.04),
+    "philadelphia": (39.95, -75.17),
+    "newyork": (40.71, -74.01),
+    "boston": (42.36, -71.06),
+}
+
+ATT_EDGES = [
+    # west coast chain + shortcuts
+    ("seattle", "portland"),
+    ("seattle", "sanfrancisco"),
+    ("seattle", "saltlake"),
+    ("seattle", "chicago"),
+    ("portland", "sanfrancisco"),
+    ("portland", "saltlake"),
+    ("sanfrancisco", "sanjose"),
+    ("sanfrancisco", "losangeles"),
+    ("sanfrancisco", "saltlake"),
+    ("sanfrancisco", "denver"),
+    ("sanfrancisco", "chicago"),
+    ("sanjose", "losangeles"),
+    ("sanjose", "phoenix"),
+    ("losangeles", "sandiego"),
+    ("losangeles", "phoenix"),
+    ("losangeles", "dallas"),
+    ("losangeles", "denver"),
+    ("sandiego", "phoenix"),
+    ("phoenix", "dallas"),
+    ("phoenix", "denver"),
+    # mountain / central
+    ("saltlake", "denver"),
+    ("denver", "kansascity"),
+    ("denver", "dallas"),
+    ("denver", "chicago"),
+    ("kansascity", "stlouis"),
+    ("kansascity", "dallas"),
+    ("kansascity", "chicago"),
+    ("stlouis", "chicago"),
+    ("stlouis", "nashville"),
+    ("stlouis", "dallas"),
+    ("stlouis", "atlanta"),
+    # texas triangle
+    ("dallas", "austin"),
+    ("dallas", "houston"),
+    ("dallas", "atlanta"),
+    ("austin", "houston"),
+    ("houston", "atlanta"),
+    ("houston", "orlando"),
+    # midwest / east
+    ("chicago", "detroit"),
+    ("chicago", "cleveland"),
+    ("chicago", "nashville"),
+    ("chicago", "newyork"),
+    ("chicago", "washington"),
+    ("detroit", "cleveland"),
+    ("cleveland", "newyork"),
+    ("cleveland", "philadelphia"),
+    ("nashville", "atlanta"),
+    ("nashville", "washington"),
+    # southeast
+    ("atlanta", "orlando"),
+    ("atlanta", "washington"),
+    ("atlanta", "miami"),
+    ("orlando", "miami"),
+    # northeast corridor
+    ("washington", "philadelphia"),
+    ("washington", "newyork"),
+    ("philadelphia", "newyork"),
+    ("newyork", "boston"),
+    ("boston", "cleveland"),
+]
+
+
+def attmpls_topology(capacity: float = 100.0) -> Topology:
+    """Build the AttMpls topology with geographic link latencies."""
+    topo = Topology.from_edges(
+        "attmpls", ATT_EDGES, coordinates=ATT_SITES, capacity=capacity
+    )
+    topo.validate()
+    assert topo.num_nodes() == 25 and topo.num_edges() == 56
+    return topo

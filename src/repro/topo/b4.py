@@ -1,0 +1,63 @@
+"""B4 — Google's private inter-datacenter WAN (Jain et al., SIGCOMM'13).
+
+12 sites, 19 edges (the paper's 2-tuple).  Site list and connectivity
+follow the published B4 figure; coordinates are approximate datacenter
+locations, used only to derive propagation latency.
+"""
+
+from __future__ import annotations
+
+from repro.topo.graph import Topology
+
+# node -> (lat, lon), approximate.
+B4_SITES = {
+    "dalles-or": (45.59, -121.18),      # The Dalles, Oregon
+    "council-ia": (41.26, -95.86),      # Council Bluffs, Iowa
+    "mayes-ok": (36.30, -95.30),        # Mayes County, Oklahoma
+    "lenoir-nc": (35.91, -81.54),       # Lenoir, North Carolina
+    "berkeley-sc": (33.19, -80.01),     # Berkeley County, South Carolina
+    "atlanta-ga": (33.75, -84.39),      # Atlanta metro PoP
+    "dublin-ie": (53.35, -6.26),        # Dublin, Ireland
+    "ghislain-be": (50.45, 3.85),       # St. Ghislain, Belgium
+    "hamina-fi": (60.57, 27.20),        # Hamina, Finland
+    "taiwan": (24.07, 120.54),          # Changhua County, Taiwan
+    "singapore": (1.35, 103.82),        # Singapore
+    "hongkong": (22.32, 114.17),        # Hong Kong PoP
+}
+
+B4_EDGES = [
+    # US west - central - east mesh
+    ("dalles-or", "council-ia"),
+    ("dalles-or", "mayes-ok"),
+    ("council-ia", "mayes-ok"),
+    ("council-ia", "lenoir-nc"),
+    ("council-ia", "atlanta-ga"),
+    ("mayes-ok", "atlanta-ga"),
+    ("mayes-ok", "berkeley-sc"),
+    ("lenoir-nc", "berkeley-sc"),
+    ("lenoir-nc", "atlanta-ga"),
+    ("atlanta-ga", "berkeley-sc"),
+    # transatlantic
+    ("lenoir-nc", "dublin-ie"),
+    ("berkeley-sc", "ghislain-be"),
+    # intra-Europe
+    ("dublin-ie", "ghislain-be"),
+    ("ghislain-be", "hamina-fi"),
+    ("dublin-ie", "hamina-fi"),
+    # transpacific
+    ("dalles-or", "taiwan"),
+    ("dalles-or", "hongkong"),
+    # intra-Asia
+    ("taiwan", "hongkong"),
+    ("singapore", "hongkong"),
+]
+
+
+def b4_topology(capacity: float = 100.0) -> Topology:
+    """Build the B4 topology with geographic link latencies."""
+    topo = Topology.from_edges(
+        "b4", B4_EDGES, coordinates=B4_SITES, capacity=capacity
+    )
+    topo.validate()
+    assert topo.num_nodes() == 12 and topo.num_edges() == 19
+    return topo

@@ -1,0 +1,132 @@
+"""Chinanet — China Telecom's backbone (Topology Zoo).
+
+38 nodes, 62 edges (the paper's 2-tuple).  The real graph is a
+hub-and-spoke structure around Beijing / Shanghai / Guangzhou with
+provincial capitals attached; we reproduce that structure.  Coordinates
+feed the latency model only.
+"""
+
+from __future__ import annotations
+
+from repro.topo.graph import Topology
+
+CHINANET_SITES = {
+    "beijing": (39.90, 116.41),
+    "tianjin": (39.34, 117.36),
+    "shijiazhuang": (38.04, 114.51),
+    "taiyuan": (37.87, 112.56),
+    "hohhot": (40.84, 111.75),
+    "shenyang": (41.81, 123.43),
+    "changchun": (43.82, 125.32),
+    "harbin": (45.80, 126.53),
+    "dalian": (38.91, 121.60),
+    "jinan": (36.65, 117.12),
+    "qingdao": (36.07, 120.38),
+    "zhengzhou": (34.75, 113.63),
+    "xian": (34.34, 108.94),
+    "lanzhou": (36.06, 103.83),
+    "xining": (36.62, 101.78),
+    "yinchuan": (38.49, 106.23),
+    "urumqi": (43.83, 87.62),
+    "shanghai": (31.23, 121.47),
+    "nanjing": (32.06, 118.80),
+    "hangzhou": (30.27, 120.16),
+    "hefei": (31.82, 117.23),
+    "fuzhou": (26.07, 119.30),
+    "xiamen": (24.48, 118.09),
+    "nanchang": (28.68, 115.86),
+    "wuhan": (30.59, 114.31),
+    "changsha": (28.23, 112.94),
+    "guangzhou": (23.13, 113.26),
+    "shenzhen": (22.54, 114.06),
+    "nanning": (22.82, 108.32),
+    "haikou": (20.04, 110.34),
+    "guiyang": (26.65, 106.63),
+    "kunming": (24.88, 102.83),
+    "chengdu": (30.57, 104.07),
+    "chongqing": (29.56, 106.55),
+    "lhasa": (29.65, 91.14),
+    "wenzhou": (28.00, 120.67),
+    "suzhou": (31.30, 120.58),
+    "dongguan": (23.02, 113.75),
+}
+
+CHINANET_EDGES = [
+    # national ring: Beijing - Shanghai - Guangzhou - Xi'an - Beijing
+    ("beijing", "shanghai"),
+    ("shanghai", "guangzhou"),
+    ("guangzhou", "xian"),
+    ("xian", "beijing"),
+    ("beijing", "guangzhou"),
+    ("shanghai", "xian"),
+    # north
+    ("beijing", "tianjin"),
+    ("beijing", "shijiazhuang"),
+    ("beijing", "taiyuan"),
+    ("beijing", "hohhot"),
+    ("beijing", "shenyang"),
+    ("beijing", "jinan"),
+    ("beijing", "zhengzhou"),
+    ("tianjin", "shenyang"),
+    ("tianjin", "jinan"),
+    ("shijiazhuang", "taiyuan"),
+    ("shijiazhuang", "zhengzhou"),
+    ("shenyang", "changchun"),
+    ("shenyang", "dalian"),
+    ("changchun", "harbin"),
+    ("dalian", "qingdao"),
+    ("jinan", "qingdao"),
+    ("jinan", "zhengzhou"),
+    # west
+    ("xian", "lanzhou"),
+    ("xian", "zhengzhou"),
+    ("xian", "chengdu"),
+    ("xian", "taiyuan"),
+    ("lanzhou", "xining"),
+    ("lanzhou", "yinchuan"),
+    ("lanzhou", "urumqi"),
+    ("lanzhou", "chengdu"),
+    ("xining", "lhasa"),
+    ("yinchuan", "hohhot"),
+    ("urumqi", "xian"),
+    ("chengdu", "chongqing"),
+    ("chengdu", "lhasa"),
+    ("chengdu", "kunming"),
+    ("chongqing", "wuhan"),
+    ("chongqing", "guiyang"),
+    # east / Yangtze delta
+    ("shanghai", "nanjing"),
+    ("shanghai", "hangzhou"),
+    ("shanghai", "suzhou"),
+    ("nanjing", "hefei"),
+    ("nanjing", "suzhou"),
+    ("nanjing", "wuhan"),
+    ("hangzhou", "wenzhou"),
+    ("hangzhou", "fuzhou"),
+    ("hefei", "wuhan"),
+    ("wuhan", "changsha"),
+    ("wuhan", "zhengzhou"),
+    ("wuhan", "nanchang"),
+    ("nanchang", "changsha"),
+    ("nanchang", "fuzhou"),
+    ("fuzhou", "xiamen"),
+    # south
+    ("guangzhou", "shenzhen"),
+    ("guangzhou", "dongguan"),
+    ("guangzhou", "nanning"),
+    ("guangzhou", "haikou"),
+    ("guangzhou", "changsha"),
+    ("guangzhou", "guiyang"),
+    ("shenzhen", "xiamen"),
+    ("nanning", "kunming"),
+]
+
+
+def chinanet_topology(capacity: float = 100.0) -> Topology:
+    """Build the Chinanet topology with geographic link latencies."""
+    topo = Topology.from_edges(
+        "chinanet", CHINANET_EDGES, coordinates=CHINANET_SITES, capacity=capacity
+    )
+    topo.validate()
+    assert topo.num_nodes() == 38 and topo.num_edges() == 62
+    return topo

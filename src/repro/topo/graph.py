@@ -1,0 +1,181 @@
+"""The :class:`Topology` abstraction.
+
+A thin, validated wrapper over an undirected :class:`networkx.Graph`
+that carries everything the harness needs: per-link latency and
+capacity, optional site coordinates, and controller placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from repro.topo.latency import geo_latency_ms
+
+DEFAULT_CAPACITY = 100.0
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """One undirected edge with its attributes."""
+
+    a: str
+    b: str
+    latency_ms: float
+    capacity: float
+
+
+class Topology:
+    """Named, validated network topology.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces and benchmark rows.
+    coordinates:
+        Optional mapping node -> (lat, lon); when present, edges added
+        with ``latency_ms=None`` get geographic latency.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        coordinates: Optional[dict[str, tuple[float, float]]] = None,
+    ) -> None:
+        self.name = name
+        self.graph = nx.Graph()
+        self.coordinates = dict(coordinates or {})
+        self.controller: Optional[str] = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: str, lat: Optional[float] = None, lon: Optional[float] = None) -> None:
+        self.graph.add_node(node)
+        if lat is not None and lon is not None:
+            self.coordinates[node] = (lat, lon)
+
+    def add_edge(
+        self,
+        a: str,
+        b: str,
+        latency_ms: Optional[float] = None,
+        capacity: float = DEFAULT_CAPACITY,
+    ) -> None:
+        if a == b:
+            raise ValueError(f"self-loop on {a!r}")
+        if latency_ms is None:
+            latency_ms = self._geo_latency(a, b)
+        if latency_ms <= 0:
+            raise ValueError(f"non-positive latency on edge ({a!r}, {b!r})")
+        self.graph.add_edge(a, b, latency_ms=latency_ms, capacity=capacity)
+
+    def _geo_latency(self, a: str, b: str) -> float:
+        try:
+            (lat1, lon1), (lat2, lon2) = self.coordinates[a], self.coordinates[b]
+        except KeyError as exc:
+            raise ValueError(
+                f"edge ({a!r}, {b!r}) needs latency_ms or coordinates"
+            ) from exc
+        return geo_latency_ms(lat1, lon1, lat2, lon2)
+
+    @classmethod
+    def from_edges(
+        cls,
+        name: str,
+        edges: Iterable[tuple],
+        coordinates: Optional[dict[str, tuple[float, float]]] = None,
+        default_latency_ms: Optional[float] = None,
+        capacity: float = DEFAULT_CAPACITY,
+    ) -> "Topology":
+        """Build from ``(a, b)`` or ``(a, b, latency_ms)`` tuples."""
+        topo = cls(name, coordinates=coordinates)
+        for node in coordinates or {}:
+            topo.add_node(node)
+        for edge in edges:
+            if len(edge) == 2:
+                a, b = edge
+                latency = default_latency_ms
+            else:
+                a, b, latency = edge
+            topo.add_edge(a, b, latency_ms=latency, capacity=capacity)
+        return topo
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self.graph.nodes)
+
+    @property
+    def edges(self) -> list[EdgeSpec]:
+        return [
+            EdgeSpec(a, b, data["latency_ms"], data["capacity"])
+            for a, b, data in self.graph.edges(data=True)
+        ]
+
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def latency(self, a: str, b: str) -> float:
+        return self.graph.edges[a, b]["latency_ms"]
+
+    def capacity(self, a: str, b: str) -> float:
+        return self.graph.edges[a, b]["capacity"]
+
+    def neighbors(self, node: str) -> list[str]:
+        return list(self.graph.neighbors(node))
+
+    def is_connected(self) -> bool:
+        return self.graph.number_of_nodes() > 0 and nx.is_connected(self.graph)
+
+    def validate(self) -> None:
+        """Raise ValueError when the topology is unusable."""
+        if not self.is_connected():
+            raise ValueError(f"topology {self.name!r} is not connected")
+
+    # -- latency-weighted paths ---------------------------------------------------
+
+    def shortest_path(self, src: str, dst: str) -> list[str]:
+        return nx.shortest_path(self.graph, src, dst, weight="latency_ms")
+
+    def path_latency(self, path: list[str]) -> float:
+        return sum(self.latency(a, b) for a, b in zip(path, path[1:]))
+
+    def control_latency(self, switch: str, controller: Optional[str] = None) -> float:
+        """Latency of the shortest path from the controller to ``switch``."""
+        controller = controller or self.controller
+        if controller is None:
+            raise ValueError("no controller placed")
+        if switch == controller:
+            return 0.05  # local loopback floor
+        return nx.shortest_path_length(
+            self.graph, controller, switch, weight="latency_ms"
+        )
+
+    # -- controller placement --------------------------------------------------------
+
+    def place_controller_at_centroid(self) -> str:
+        """Place the controller at the node minimising worst-case
+        control latency (the paper's centroid rule, §9.1)."""
+        lengths = dict(
+            nx.all_pairs_dijkstra_path_length(self.graph, weight="latency_ms")
+        )
+        best = min(self.graph.nodes, key=lambda n: (max(lengths[n].values()), n))
+        self.controller = best
+        return best
+
+    def set_controller(self, node: str) -> None:
+        if node not in self.graph:
+            raise ValueError(f"unknown node {node!r}")
+        self.controller = node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Topology {self.name!r} n={self.num_nodes()} m={self.num_edges()} "
+            f"controller={self.controller!r}>"
+        )

@@ -1,0 +1,68 @@
+"""Internet2 — the US research and education backbone.
+
+16 nodes, 26 edges (the paper's 2-tuple).  City list follows the
+Internet2 network map; coordinates are the cities' locations and only
+feed the latency model.
+"""
+
+from __future__ import annotations
+
+from repro.topo.graph import Topology
+
+I2_SITES = {
+    "seattle": (47.61, -122.33),
+    "portland": (45.52, -122.68),
+    "sunnyvale": (37.37, -122.04),
+    "losangeles": (34.05, -118.24),
+    "saltlake": (40.76, -111.89),
+    "denver": (39.74, -104.99),
+    "elpaso": (31.76, -106.49),
+    "houston": (29.76, -95.37),
+    "kansascity": (39.10, -94.58),
+    "dallas": (32.78, -96.80),
+    "chicago": (41.88, -87.63),
+    "indianapolis": (39.77, -86.16),
+    "atlanta": (33.75, -84.39),
+    "nashville": (36.16, -86.78),
+    "washington": (38.91, -77.04),
+    "newyork": (40.71, -74.01),
+}
+
+I2_EDGES = [
+    ("seattle", "portland"),
+    ("seattle", "saltlake"),
+    ("seattle", "chicago"),
+    ("portland", "sunnyvale"),
+    ("sunnyvale", "losangeles"),
+    ("sunnyvale", "saltlake"),
+    ("losangeles", "elpaso"),
+    ("losangeles", "saltlake"),
+    ("saltlake", "denver"),
+    ("denver", "kansascity"),
+    ("denver", "elpaso"),
+    ("elpaso", "houston"),
+    ("houston", "dallas"),
+    ("houston", "atlanta"),
+    ("dallas", "kansascity"),
+    ("dallas", "atlanta"),
+    ("kansascity", "chicago"),
+    ("chicago", "indianapolis"),
+    ("chicago", "newyork"),
+    ("indianapolis", "nashville"),
+    ("indianapolis", "washington"),
+    ("nashville", "atlanta"),
+    ("atlanta", "washington"),
+    ("washington", "newyork"),
+    ("nashville", "dallas"),
+    ("kansascity", "indianapolis"),
+]
+
+
+def internet2_topology(capacity: float = 100.0) -> Topology:
+    """Build the Internet2 topology with geographic link latencies."""
+    topo = Topology.from_edges(
+        "internet2", I2_EDGES, coordinates=I2_SITES, capacity=capacity
+    )
+    topo.validate()
+    assert topo.num_nodes() == 16 and topo.num_edges() == 26
+    return topo

@@ -1,0 +1,120 @@
+"""Hand-built topologies from the paper's examples.
+
+* :func:`fig1_topology` — the 8-node example of Fig. 1 used for
+  SL-/DL-P4Update illustration and the Fig. 7a single-flow scenario
+  (homogeneous 20 ms links, §9.1).
+* :func:`fig2_topology` — the 5-node out-of-order-update demonstration
+  of §4.1.
+* :func:`six_node_topology` — the §4.2 fast-forward scenario network.
+* :func:`line_topology` / :func:`ring_topology` — parametric helpers
+  for unit and property tests.
+"""
+
+from __future__ import annotations
+
+from repro.topo.graph import Topology
+
+FIG1_LINK_LATENCY_MS = 20.0
+
+# Fig. 1: old path v0 -> v4 -> v2 -> v7 (solid), new path
+# v0 -> v1 -> v2 -> v3 -> v4 -> v5 -> v6 -> v7 (dashed).
+FIG1_OLD_PATH = ["v0", "v4", "v2", "v7"]
+FIG1_NEW_PATH = ["v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7"]
+
+
+def fig1_topology(latency_ms: float = FIG1_LINK_LATENCY_MS, capacity: float = 100.0) -> Topology:
+    """The synthetic topology of Fig. 1 (paper §3).
+
+    Contains the union of the old and the new flow path, which is all
+    the figure defines.
+    """
+    edges = set()
+    for path in (FIG1_OLD_PATH, FIG1_NEW_PATH):
+        edges.update(frozenset(pair) for pair in zip(path, path[1:]))
+    topo = Topology("fig1")
+    for node in sorted({n for e in edges for n in e}):
+        topo.add_node(node)
+    for edge in sorted(edges, key=sorted):
+        a, b = sorted(edge)
+        topo.add_edge(a, b, latency_ms=latency_ms, capacity=capacity)
+    topo.validate()
+    return topo
+
+
+# Fig. 2 configurations (§4.1), reconstructed so that deploying (c)
+# while the (b) messages are still in flight produces the loop
+# {v1, v2, v3} described in the paper:
+#   (a) v0 -> v1 -> v2 -> v3 -> v4        (initial, solid)
+#   (b) v0 -> v1 -> v2 -> v4              (updates only the v2..v4 part)
+#   (c) v0 -> v3 -> v1 -> v2 -> v4        (updates some parts again)
+# If (c)'s rules (v0->v3, v3->v1) are applied while v2 still forwards
+# to v3 (because (b) is delayed), packets cycle v3 -> v1 -> v2 -> v3.
+FIG2_CONFIG_A = ["v0", "v1", "v2", "v3", "v4"]
+FIG2_CONFIG_B = ["v0", "v1", "v2", "v4"]
+FIG2_CONFIG_C = ["v0", "v3", "v1", "v2", "v4"]
+
+
+def fig2_topology(latency_ms: float = 20.0, capacity: float = 100.0) -> Topology:
+    """5-node topology for the §4.1 inconsistent-update demonstration."""
+    edges = set()
+    for path in (FIG2_CONFIG_A, FIG2_CONFIG_B, FIG2_CONFIG_C):
+        edges.update(frozenset(pair) for pair in zip(path, path[1:]))
+    topo = Topology("fig2")
+    for node in sorted({n for e in edges for n in e}):
+        topo.add_node(node)
+    for edge in sorted(edges, key=sorted):
+        a, b = sorted(edge)
+        topo.add_edge(a, b, latency_ms=latency_ms, capacity=capacity)
+    topo.validate()
+    return topo
+
+
+# §4.2 fast-forward scenario: "a network with six nodes".  U2 is a
+# complex (segmented, with a backward segment) update, U3 a simple one.
+#   initial: s0 -> s1 -> s2 -> s5
+#   U2:      s0 -> s2 -> s1 -> s3 -> s4 -> s5   (backward segment s2->s1)
+#   U3:      s0 -> s1 -> s4 -> s5               (simple forward detour)
+SIX_NODE_INITIAL = ["s0", "s1", "s2", "s5"]
+SIX_NODE_U2 = ["s0", "s2", "s1", "s3", "s4", "s5"]
+SIX_NODE_U3 = ["s0", "s1", "s4", "s5"]
+
+
+def six_node_topology(latency_ms: float = 20.0, capacity: float = 100.0) -> Topology:
+    """6-node topology for the §4.2 two-consecutive-update scenario."""
+    edges = set()
+    for path in (SIX_NODE_INITIAL, SIX_NODE_U2, SIX_NODE_U3):
+        edges.update(frozenset(pair) for pair in zip(path, path[1:]))
+    topo = Topology("six_node")
+    for node in sorted({n for e in edges for n in e}):
+        topo.add_node(node)
+    for edge in sorted(edges, key=sorted):
+        a, b = sorted(edge)
+        topo.add_edge(a, b, latency_ms=latency_ms, capacity=capacity)
+    topo.validate()
+    return topo
+
+
+def line_topology(n: int, latency_ms: float = 1.0, capacity: float = 100.0) -> Topology:
+    """n nodes in a row: n0 - n1 - ... - n(n-1)."""
+    if n < 2:
+        raise ValueError("a line needs at least two nodes")
+    topo = Topology(f"line{n}")
+    for i in range(n):
+        topo.add_node(f"n{i}")
+    for i in range(n - 1):
+        topo.add_edge(f"n{i}", f"n{i+1}", latency_ms=latency_ms, capacity=capacity)
+    topo.validate()
+    return topo
+
+
+def ring_topology(n: int, latency_ms: float = 1.0, capacity: float = 100.0) -> Topology:
+    """n nodes in a cycle."""
+    if n < 3:
+        raise ValueError("a ring needs at least three nodes")
+    topo = Topology(f"ring{n}")
+    for i in range(n):
+        topo.add_node(f"n{i}")
+    for i in range(n):
+        topo.add_edge(f"n{i}", f"n{(i+1) % n}", latency_ms=latency_ms, capacity=capacity)
+    topo.validate()
+    return topo

@@ -1,0 +1,14 @@
+"""Traffic generation: flows, paths, and the gravity traffic model."""
+
+from repro.traffic.flows import Flow, FlowSet
+from repro.traffic.gravity import gravity_matrix, gravity_flow_sizes
+from repro.traffic.paths import k_shortest_paths, second_shortest_path
+
+__all__ = [
+    "Flow",
+    "FlowSet",
+    "gravity_matrix",
+    "gravity_flow_sizes",
+    "k_shortest_paths",
+    "second_shortest_path",
+]

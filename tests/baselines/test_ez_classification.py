@@ -1,0 +1,80 @@
+"""Unit tests for ez-Segway's in_loop classification and its agreement
+with P4Update's distance-based forward/backward rule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ezsegway import (
+    _ez_classify_in_loop,
+    _segment_dependencies,
+    prepare_ez_update,
+)
+from repro.core.segmentation import compute_segments
+from repro.topo.synthetic import FIG1_NEW_PATH, FIG1_OLD_PATH
+from repro.traffic.flows import Flow
+
+
+def test_fig1_classification():
+    segments = compute_segments(list(FIG1_OLD_PATH), list(FIG1_NEW_PATH))
+    old = list(FIG1_OLD_PATH)
+    verdicts = [_ez_classify_in_loop(old, s) for s in segments]
+    # forward, backward, forward  ->  not_in_loop, in_loop, not_in_loop
+    assert verdicts == [False, True, False]
+
+
+def test_dependencies_indexing():
+    segments = compute_segments(list(FIG1_OLD_PATH), list(FIG1_NEW_PATH))
+    deps = _segment_dependencies(list(FIG1_OLD_PATH), segments)
+    assert deps == {0: False, 1: True, 2: False}
+
+
+@st.composite
+def path_pair(draw):
+    n = draw(st.integers(min_value=4, max_value=9))
+    universe = [f"x{i}" for i in range(n)]
+    src, dst = universe[0], universe[1]
+    middle = universe[2:]
+    old_mid = draw(st.lists(st.sampled_from(middle), unique=True, max_size=len(middle)))
+    new_mid = draw(st.lists(st.sampled_from(middle), unique=True, max_size=len(middle)))
+    return [src] + old_mid + [dst], [src] + new_mid + [dst]
+
+
+@given(path_pair())
+@settings(max_examples=300, deadline=None)
+def test_cycle_search_agrees_with_distance_rule(pair):
+    """ez-Segway's graph-analytic classification and P4Update's
+    distance comparison must agree on every segment — the paper's §3.2
+    claim that old-distance ordering captures loop potential."""
+    old, new = pair
+    for segment in compute_segments(old, new):
+        assert _ez_classify_in_loop(old, segment) == (not segment.forward)
+
+
+def test_prepare_skips_unchanged_segments():
+    flow = Flow.between("a", "d", size=1.0, old_path=["a", "b", "c", "d"])
+    # Only the b->c portion changes (detour via x).
+    prepared = prepare_ez_update(
+        flow, ["a", "b", "c", "d"], ["a", "b", "x", "c", "d"], update_id=1
+    )
+    targets = {r.target for r in prepared.roles}
+    assert "a" not in targets, "unchanged prefix gets no role"
+    assert "d" not in targets, "unchanged suffix gets no role"
+    assert {"b", "x", "c"} <= targets
+
+
+def test_prepare_counts_only_changed_segments():
+    flow = Flow.between("a", "d", size=1.0, old_path=["a", "b", "c", "d"])
+    prepared = prepare_ez_update(
+        flow, ["a", "b", "c", "d"], ["a", "b", "x", "c", "d"], update_id=1
+    )
+    assert len(prepared.segments) == 1
+
+
+def test_prepare_identical_paths_yields_nothing():
+    flow = Flow.between("a", "c", size=1.0, old_path=["a", "b", "c"])
+    prepared = prepare_ez_update(
+        flow, ["a", "b", "c"], ["a", "b", "c"], update_id=1
+    )
+    assert prepared.roles == ()
+    assert prepared.segments == ()

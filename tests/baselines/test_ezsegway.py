@@ -1,0 +1,158 @@
+"""Tests for the ez-Segway baseline."""
+
+import pytest
+
+from repro.baselines.ezsegway import (
+    congestion_dependency_graph,
+    prepare_ez_update,
+)
+from repro.harness.baselines_build import build_ezsegway_network
+from repro.params import DelayDistribution, SimParams
+from repro.topo import fig1_topology, ring_topology
+from repro.topo.synthetic import FIG1_NEW_PATH, FIG1_OLD_PATH
+from repro.traffic.flows import Flow
+
+
+def fast_params(seed=0, install_ms=1.0):
+    return SimParams(
+        seed=seed,
+        pipeline_delay=DelayDistribution.constant(0.1),
+        rule_install_delay=DelayDistribution.constant(install_ms),
+        controller_service=DelayDistribution.constant(0.2),
+    )
+
+
+# -- preparation -------------------------------------------------------------
+
+def test_prepare_classifies_fig1_segments():
+    flow = Flow.between("v0", "v7", size=1.0, old_path=list(FIG1_OLD_PATH))
+    prepared = prepare_ez_update(
+        flow, list(FIG1_OLD_PATH), list(FIG1_NEW_PATH), update_id=1
+    )
+    kinds = [s.forward for s in prepared.segments]
+    assert kinds == [True, False, True]
+    # Roles exist for every node of the new path.
+    assert {r.target for r in prepared.roles} == set(FIG1_NEW_PATH)
+
+
+def test_prepare_in_loop_segment_depends_on_flip():
+    flow = Flow.between("v0", "v7", size=1.0, old_path=list(FIG1_OLD_PATH))
+    prepared = prepare_ez_update(
+        flow, list(FIG1_OLD_PATH), list(FIG1_NEW_PATH), update_id=1
+    )
+    # v4 is the egress gateway of the in_loop segment {v2, v3, v4}: its
+    # role for that segment must carry the dependency.
+    v4_roles = [r for r in prepared.roles if r.target == "v4"]
+    in_loop_driver = [r for r in v4_roles if r.is_segment_egress and r.in_loop]
+    assert in_loop_driver and all(r.depends_on_flip for r in in_loop_driver)
+
+
+def test_congestion_dependency_graph_ranks_blockers_first():
+    # Flow A wants link (x, y) which is full because of flow B; B moves
+    # away.  B's move must get a smaller (earlier) rank than A's.
+    flow_a = Flow(
+        flow_id=1, src="a", dst="y", size=5.0,
+        old_path=["a", "x", "z", "y"], new_path=["a", "x", "y"],
+    )
+    flow_b = Flow(
+        flow_id=2, src="x", dst="w", size=6.0,
+        old_path=["x", "y", "w"], new_path=["x", "w"],
+    )
+    capacities = {
+        frozenset(("x", "y")): 8.0,
+        frozenset(("x", "z")): 100.0,
+        frozenset(("z", "y")): 100.0,
+        frozenset(("a", "x")): 100.0,
+        frozenset(("x", "w")): 100.0,
+        frozenset(("y", "w")): 100.0,
+    }
+    ranks = congestion_dependency_graph([flow_a, flow_b], capacities)
+    assert ranks[(2, ("x", "w"))] < ranks[(1, ("x", "y"))]
+
+
+def test_congestion_dependency_graph_handles_cycles():
+    # A <-> B swap: classic deadlock; condensation still yields ranks.
+    flow_a = Flow(
+        flow_id=1, src="a", dst="c", size=6.0,
+        old_path=["a", "b", "c"], new_path=["a", "d", "c"],
+    )
+    flow_b = Flow(
+        flow_id=2, src="a", dst="c", size=6.0,
+        old_path=["a", "d", "c"], new_path=["a", "b", "c"],
+    )
+    capacities = {
+        frozenset(("a", "b")): 10.0,
+        frozenset(("b", "c")): 10.0,
+        frozenset(("a", "d")): 10.0,
+        frozenset(("d", "c")): 10.0,
+    }
+    ranks = congestion_dependency_graph([flow_a, flow_b], capacities)
+    assert len(ranks) == 4  # all moves ranked despite the cycle
+
+
+# -- runtime --------------------------------------------------------------------
+
+def ez_fig1():
+    topo = fig1_topology()
+    topo.set_controller("v0")
+    dep = build_ezsegway_network(topo, params=fast_params())
+    flow = Flow.between("v0", "v7", size=1.0, old_path=list(FIG1_OLD_PATH))
+    dep.install_flow(flow)
+    return dep, flow
+
+
+def test_ez_fig1_update_completes():
+    dep, flow = ez_fig1()
+    dep.controller.update_flow(flow.flow_id, list(FIG1_NEW_PATH))
+    dep.run()
+    assert dep.controller.update_complete(flow.flow_id)
+    walk, outcome = dep.forwarding_state.walk(flow.flow_id)
+    assert outcome == "delivered" and walk == list(FIG1_NEW_PATH)
+
+
+def test_ez_fig1_in_loop_waits_for_not_in_loop():
+    dep, flow = ez_fig1()
+    dep.controller.update_flow(flow.flow_id, list(FIG1_NEW_PATH))
+    dep.run()
+    changes = {
+        e.node: e.time
+        for e in dep.network.trace.of_kind("rule_change")
+        if e.detail.get("flow") == flow.flow_id
+    }
+    # v2 (in_loop ingress gateway) must flip after v4 flipped.
+    assert changes["v2"] > changes["v4"]
+    # And v3 (inside the in_loop segment) must NOT have pre-installed:
+    # it flips after v4 as well (no early rule install, unlike DL).
+    assert changes["v3"] > changes["v4"]
+
+
+def test_ez_serializes_consecutive_updates():
+    """§4.2: ez-Segway waits for U2 before starting U3."""
+    topo = ring_topology(6, latency_ms=2.0)
+    topo.set_controller("n0")
+    dep = build_ezsegway_network(topo, params=fast_params(install_ms=5.0))
+    flow = Flow.between("n0", "n3", size=1.0, old_path=["n0", "n1", "n2", "n3"])
+    dep.install_flow(flow)
+    u2 = dep.controller.update_flow(flow.flow_id, ["n0", "n5", "n4", "n3"])
+    u3 = dep.controller.update_flow(flow.flow_id, ["n0", "n1", "n2", "n3"])
+    assert u3 == -1, "second update must be queued, not pushed"
+    dep.run()
+    assert dep.controller.update_complete(flow.flow_id)
+    walk, outcome = dep.forwarding_state.walk(flow.flow_id)
+    assert outcome == "delivered" and walk == ["n0", "n1", "n2", "n3"]
+    # Both updates recorded, in order.
+    done = sorted(dep.controller.update_done_at.items(), key=lambda kv: kv[1])
+    assert len(done) == 2
+
+
+def test_ez_simple_detour_on_ring():
+    topo = ring_topology(6, latency_ms=1.0)
+    topo.set_controller("n0")
+    dep = build_ezsegway_network(topo, params=fast_params())
+    flow = Flow.between("n0", "n3", size=1.0, old_path=["n0", "n1", "n2", "n3"])
+    dep.install_flow(flow)
+    dep.controller.update_flow(flow.flow_id, ["n0", "n5", "n4", "n3"])
+    dep.run()
+    assert dep.controller.update_complete(flow.flow_id)
+    walk, outcome = dep.forwarding_state.walk(flow.flow_id)
+    assert outcome == "delivered" and walk == ["n0", "n5", "n4", "n3"]

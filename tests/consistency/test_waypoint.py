@@ -1,0 +1,120 @@
+"""Tests for waypoint-traversal checking (§12 future work) and its
+interaction with the 2PC update mode."""
+
+import pytest
+
+from repro.consistency.state import ForwardingState
+from repro.consistency.waypoint import (
+    WaypointPolicy,
+    check_packet_waypoints,
+    check_state_waypoints,
+    paths_satisfy,
+)
+
+
+def test_policy_requires_waypoints():
+    with pytest.raises(ValueError):
+        WaypointPolicy.require(1)
+    policy = WaypointPolicy.require(1, "fw")
+    assert policy.waypoints == frozenset({"fw"})
+
+
+def test_static_check_passes_through_waypoint():
+    state = ForwardingState()
+    state.register_flow(1, "a", "d", size=1.0)
+    state.set_rule(1, "a", "fw")
+    state.set_rule(1, "fw", "c")
+    state.set_rule(1, "c", "d")
+    policy = WaypointPolicy.require(1, "fw")
+    assert check_state_waypoints(state, [policy]) == []
+
+
+def test_static_check_flags_bypass():
+    state = ForwardingState()
+    state.register_flow(1, "a", "d", size=1.0)
+    state.set_rule(1, "a", "c")
+    state.set_rule(1, "c", "d")
+    policy = WaypointPolicy.require(1, "fw")
+    violations = check_state_waypoints(state, [policy])
+    assert len(violations) == 1
+    assert violations[0].missing == frozenset({"fw"})
+
+
+def test_static_check_ignores_undeliverable():
+    state = ForwardingState()
+    state.register_flow(1, "a", "d", size=1.0)
+    state.set_rule(1, "a", "c")          # blackhole at c
+    policy = WaypointPolicy.require(1, "fw")
+    assert check_state_waypoints(state, [policy]) == []
+
+
+def test_packet_check():
+    policy = WaypointPolicy.require(1, "fw")
+    logs = [(0, ["a", "fw", "d"]), (1, ["a", "c", "d"]), (2, ["a", "fw", "d"])]
+    violations = check_packet_waypoints(logs, policy)
+    assert [v.packet_seq for v in violations] == [1]
+
+
+def test_paths_satisfy():
+    policy = WaypointPolicy.require(1, "fw")
+    assert paths_satisfy(policy, ["a", "fw", "d"], ["a", "x", "fw", "d"])
+    assert not paths_satisfy(policy, ["a", "fw", "d"], ["a", "d"])
+
+
+def test_two_phase_preserves_waypoint_per_packet():
+    """End to end: both paths contain the waypoint; under a 2PC update
+    every delivered packet traverses it, even mid-update."""
+    from repro.harness.build import build_p4update_network
+    from repro.harness.probes import ProbeSource
+    from repro.params import DelayDistribution, SimParams
+    from repro.topo import ring_topology
+    from repro.traffic.flows import Flow
+
+    # Ring of 8: both n0->n4 arcs exist; waypoint must be on both
+    # paths, so use the shared egress-neighbour trick: waypoint = n3
+    # only lies on one arc — instead demand the egress-adjacent node
+    # of each direction... simplest honest setup: a 6-node topology
+    # where old and new share the waypoint.
+    from repro.topo.graph import Topology
+
+    topo = Topology("wp")
+    for node in ("s", "fw", "a", "b", "t"):
+        topo.add_node(node)
+    topo.add_edge("s", "fw", latency_ms=1.0)
+    topo.add_edge("fw", "a", latency_ms=1.0)
+    topo.add_edge("fw", "b", latency_ms=1.0)
+    topo.add_edge("a", "t", latency_ms=1.0)
+    topo.add_edge("b", "t", latency_ms=1.0)
+    topo.set_controller("s")
+
+    params = SimParams(
+        seed=0,
+        pipeline_delay=DelayDistribution.constant(0.1),
+        rule_install_delay=DelayDistribution.constant(5.0),
+        controller_service=DelayDistribution.constant(0.2),
+        controller_background_util=0.0,
+        unm_generation_delay=DelayDistribution.constant(0.5),
+    )
+    dep = build_p4update_network(topo, params=params)
+    old = ["s", "fw", "a", "t"]
+    new = ["s", "fw", "b", "t"]
+    flow = Flow.between("s", "t", size=1.0, old_path=old)
+    dep.install_flow(flow)
+
+    logs = []
+    original = dep.switches["t"].note_probe_delivered
+
+    def record(flow_id, packet, _orig=original):
+        logs.append((packet.header("probe")["seq"], list(packet.meta.get("hops", []))))
+        _orig(flow_id, packet)
+
+    dep.switches["t"].note_probe_delivered = record
+    source = ProbeSource(dep, flow.flow_id, "s", rate_pps=400.0)
+    source.start(at=1.0, stop_at=150.0)
+    dep.network.engine.schedule(20.0, dep.controller.two_phase_update, flow.flow_id, new)
+    dep.run(until=400.0)
+
+    policy = WaypointPolicy.require(flow.flow_id, "fw")
+    assert paths_satisfy(policy, old, new)
+    assert logs, "probes must have been delivered"
+    assert check_packet_waypoints(logs, policy) == []

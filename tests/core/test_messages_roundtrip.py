@@ -1,0 +1,61 @@
+"""Additional message-level tests: cleanup packets, tag-flip message,
+and UIM field coverage for the newer extensions."""
+
+import pytest
+
+from repro.core.messages import (
+    CLEANUP_HEADER,
+    TagFlip,
+    UIM,
+    UpdateType,
+    make_cleanup,
+    make_probe,
+)
+
+
+def test_cleanup_packet_fields():
+    packet = make_cleanup(flow_id=9, version=4)
+    header = packet.header("cleanup")
+    assert header["flow_id"] == 9
+    assert header["version"] == 4
+    assert packet.has_valid("cleanup")
+
+
+def test_cleanup_header_widths():
+    fields = {f.name: f.bits for f in CLEANUP_HEADER.fields.values()}
+    assert fields == {"flow_id": 16, "version": 16}
+
+
+def test_probe_two_phase_fields_default_untagged():
+    probe = make_probe(flow_id=1, seq=2)
+    header = probe.header("probe")
+    assert header["tagged"] == 0
+    assert header["tag"] == 0
+
+
+def test_tagflip_describe_and_payload():
+    flip = TagFlip(target="s1", flow_id=3, version=5, tag=1,
+                   new_path=("a", "b", "c"))
+    assert flip.target == "s1"
+    assert "tag=1" in flip.describe()
+    assert flip.new_path == ("a", "b", "c")
+
+
+def test_uim_extension_fields_default_off():
+    uim = UIM(
+        target="s", flow_id=1, version=2, new_distance=3, egress_port=4,
+        flow_size=1.0, update_type=UpdateType.SINGLE, child_port=None,
+    )
+    assert uim.stage_tag is None
+    assert uim.piggyback == ()
+    assert uim.child_ports == ()
+    assert not uim.is_gateway
+
+
+def test_uim_is_frozen():
+    uim = UIM(
+        target="s", flow_id=1, version=2, new_distance=3, egress_port=4,
+        flow_size=1.0, update_type=UpdateType.SINGLE, child_port=None,
+    )
+    with pytest.raises(AttributeError):
+        uim.version = 9

@@ -1,0 +1,144 @@
+"""Unit tests for the §7.4 congestion scheduler."""
+
+import pytest
+
+from repro.core.scheduler import CongestionScheduler, Priority
+
+
+def make_sched(capacities):
+    sched = CongestionScheduler()
+    for port, cap in capacities.items():
+        sched.set_port_capacity(port, cap)
+    return sched
+
+
+def test_move_within_capacity_admitted():
+    sched = make_sched({1: 10.0, 2: 10.0})
+    sched.occupy(100, 1, 4.0)
+    assert sched.try_move(100, 2, 4.0) is True
+    assert sched.in_transit(100)
+    # Both links held until commit (atomic move).
+    assert sched.port_budget(1).reserved == 4.0
+    assert sched.port_budget(2).reserved == 4.0
+    sched.commit_move(100)
+    assert sched.port_budget(1).reserved == 0.0
+    assert sched.port_budget(2).reserved == 4.0
+    assert sched.committed_port(100) == 2
+
+
+def test_move_to_same_port_is_free():
+    sched = make_sched({1: 1.0})
+    sched.occupy(100, 1, 1.0)
+    assert sched.try_move(100, 1, 1.0) is True
+    sched.commit_move(100)
+    assert sched.port_budget(1).reserved == 1.0
+
+
+def test_insufficient_capacity_defers():
+    sched = make_sched({1: 10.0, 2: 3.0})
+    sched.occupy(100, 1, 4.0)
+    assert sched.try_move(100, 2, 4.0) is False
+    assert 100 in sched.waiting_flows(2)
+    assert sched.deferrals == 1
+
+
+def test_blocking_raises_priority_of_occupants_wanting_out():
+    """Flow 1 wants link 2 (full because of flow 2); flow 2 wants to
+    leave link 2 -> flow 2 becomes high priority."""
+    sched = make_sched({1: 10.0, 2: 5.0, 3: 2.0})
+    sched.occupy(1, 1, 4.0)
+    sched.occupy(2, 2, 5.0)
+    # Flow 2 tries to move to link 3 but link 3 is too small -> waits.
+    assert sched.try_move(2, 3, 5.0) is False
+    # Flow 1 tries to move to link 2 -> blocked by flow 2's occupancy;
+    # this must raise flow 2's priority.
+    assert sched.try_move(1, 2, 4.0) is False
+    assert sched.priority(2) is Priority.HIGH
+    assert sched.priority(1) is Priority.LOW
+
+
+def test_low_priority_yields_to_high_priority_waiter():
+    """A low-priority flow may not grab a link a high-priority flow is
+    waiting for, even when capacity suffices."""
+    sched = make_sched({1: 10.0, 2: 10.0, 3: 6.0})
+    sched.occupy(1, 1, 4.0)      # low-priority, will want link 3
+    sched.occupy(2, 3, 5.0)      # occupies link 3
+    sched.occupy(3, 2, 4.0)      # blocked flow that wants link 3's space? no:
+    # Make flow 2 high priority: flow 3 wants link 3 (full), flow 2
+    # wants to leave link 3 towards link 2 but link 2 lacks room.
+    sched.set_port_capacity(2, 4.0)      # full with flow 3's 4.0
+    assert sched.try_move(3, 3, 4.0) is False        # link 3 full -> waits
+    assert sched.try_move(2, 2, 5.0) is False        # link 2 full -> waits
+    assert sched.priority(2) is Priority.HIGH
+    # Now flow 1 (low) tries to move to link 2; capacity would not
+    # suffice anyway, but give it room by bumping capacity: the high
+    # priority waiter (flow 2) must still win the tie.
+    sched.set_port_capacity(2, 9.5)       # remaining 5.5 >= 4.0 for flow 1
+    assert sched.try_move(1, 2, 4.0) is False, "must yield to high-priority flow 2"
+    # Flow 2 (high) is admitted when it retries.
+    assert sched.try_move(2, 2, 5.0) is True
+    sched.commit_move(2)
+    # After flow 2 left link 3, flow 3 fits there.
+    assert sched.try_move(3, 3, 4.0) is True
+
+
+def test_priority_cleared_after_successful_move():
+    sched = make_sched({1: 4.0, 2: 4.0})
+    sched.occupy(1, 1, 4.0)
+    assert sched.try_move(1, 2, 4.0) is True
+    sched.commit_move(1)
+    assert sched.priority(1) is Priority.LOW
+
+
+def test_abort_move_rolls_back_reservation():
+    sched = make_sched({1: 10.0, 2: 10.0})
+    sched.occupy(1, 1, 4.0)
+    sched.try_move(1, 2, 4.0)
+    sched.abort_move(1)
+    assert sched.port_budget(2).reserved == 0.0
+    assert sched.committed_port(1) == 1
+
+
+def test_readmission_to_same_target_is_idempotent():
+    sched = make_sched({1: 10.0, 2: 10.0})
+    sched.occupy(1, 1, 4.0)
+    assert sched.try_move(1, 2, 4.0) is True
+    assert sched.try_move(1, 2, 4.0) is True
+    assert sched.port_budget(2).reserved == 4.0, "no double reservation"
+
+
+def test_supersede_transit_with_new_target():
+    sched = make_sched({1: 10.0, 2: 10.0, 3: 10.0})
+    sched.occupy(1, 1, 4.0)
+    assert sched.try_move(1, 2, 4.0) is True
+    # Fast-forward: newer update targets port 3 instead.
+    assert sched.try_move(1, 3, 4.0) is True
+    assert sched.port_budget(2).reserved == 0.0, "old transit rolled back"
+    assert sched.port_budget(3).reserved == 4.0
+    sched.commit_move(1)
+    assert sched.committed_port(1) == 3
+
+
+def test_release_clears_everything():
+    sched = make_sched({1: 10.0, 2: 10.0})
+    sched.occupy(1, 1, 4.0)
+    sched.try_move(1, 2, 4.0)
+    sched.release(1)
+    assert sched.port_budget(1).reserved == 0.0
+    assert sched.port_budget(2).reserved == 0.0
+
+
+def test_unknown_port_gets_infinite_budget():
+    sched = CongestionScheduler()
+    assert sched.try_move(1, 42, 1e12) is True
+
+
+def test_waiting_flow_admitted_after_capacity_frees():
+    sched = make_sched({1: 10.0, 2: 5.0})
+    sched.occupy(1, 1, 4.0)
+    sched.occupy(2, 2, 5.0)
+    assert sched.try_move(1, 2, 4.0) is False
+    # Flow 2 leaves link 2.
+    assert sched.try_move(2, 1, 5.0) is True
+    sched.commit_move(2)
+    assert sched.try_move(1, 2, 4.0) is True

@@ -1,0 +1,97 @@
+"""Unit tests for gateways and segmentation against the Fig. 1 example."""
+
+import pytest
+
+from repro.core.segmentation import (
+    Segment,
+    backward_segments,
+    compute_gateways,
+    compute_segments,
+    forward_segments,
+    nodes_to_update,
+    segment_egress_gateways,
+)
+from repro.topo.synthetic import FIG1_NEW_PATH, FIG1_OLD_PATH
+
+
+def test_fig1_gateways():
+    """Paper §3.2: G = {v0, v4, v2, v7} — in new-path order v0, v2, v4, v7."""
+    gateways = compute_gateways(FIG1_OLD_PATH, FIG1_NEW_PATH)
+    assert gateways == ["v0", "v2", "v4", "v7"]
+    assert set(gateways) == {"v0", "v4", "v2", "v7"}
+
+
+def test_fig1_segments():
+    """Paper §3.2: {v0,v1,v2} and {v4,v5,v6,v7} forward, {v2,v3,v4} backward."""
+    segments = compute_segments(FIG1_OLD_PATH, FIG1_NEW_PATH)
+    assert [s.nodes for s in segments] == [
+        ("v0", "v1", "v2"),
+        ("v2", "v3", "v4"),
+        ("v4", "v5", "v6", "v7"),
+    ]
+    assert [s.forward for s in segments] == [True, False, True]
+
+
+def test_fig1_segment_roles():
+    segments = compute_segments(FIG1_OLD_PATH, FIG1_NEW_PATH)
+    backward = backward_segments(segments)[0]
+    assert backward.ingress_gateway == "v2"
+    assert backward.egress_gateway == "v4"
+    assert backward.interior == ("v3",)
+    assert len(backward) == 3
+
+
+def test_fig1_forward_backward_partition():
+    segments = compute_segments(FIG1_OLD_PATH, FIG1_NEW_PATH)
+    assert len(forward_segments(segments)) == 2
+    assert len(backward_segments(segments)) == 1
+
+
+def test_segment_egress_gateways_fig1():
+    segments = compute_segments(FIG1_OLD_PATH, FIG1_NEW_PATH)
+    assert segment_egress_gateways(segments) == {"v2", "v4", "v7"}
+
+
+def test_identical_paths_single_chain_of_segments():
+    path = ["a", "b", "c"]
+    segments = compute_segments(path, path)
+    # Every node is a gateway; each hop is a trivial forward segment.
+    assert [s.nodes for s in segments] == [("a", "b"), ("b", "c")]
+    assert all(s.forward for s in segments)
+
+
+def test_disjoint_detour_is_one_forward_segment():
+    old = ["a", "x", "b"]
+    new = ["a", "y", "z", "b"]
+    segments = compute_segments(old, new)
+    assert len(segments) == 1
+    assert segments[0].nodes == ("a", "y", "z", "b")
+    assert segments[0].forward
+
+
+def test_mismatched_endpoints_rejected():
+    with pytest.raises(ValueError):
+        compute_segments(["a", "b"], ["a", "c"])
+
+
+def test_nodes_to_update_fig1():
+    changed = nodes_to_update(FIG1_OLD_PATH, FIG1_NEW_PATH)
+    # v7 is egress (no rule change); every other new-path node changes
+    # or gains a rule.
+    assert changed == {"v0", "v1", "v2", "v3", "v4", "v5", "v6"}
+
+
+def test_nodes_to_update_no_change():
+    assert nodes_to_update(["a", "b"], ["a", "b"]) == set()
+
+
+def test_backward_segment_detection_via_old_distance():
+    # old: a-b-c-d-e ; new: a-d-c-b-e reverses the middle.
+    old = ["a", "b", "c", "d", "e"]
+    new = ["a", "d", "c", "b", "e"]
+    segments = compute_segments(old, new)
+    kinds = {s.nodes: s.forward for s in segments}
+    assert kinds[("a", "d")] is True       # old dist 4 -> 1: forward
+    assert kinds[("d", "c")] is False      # 1 -> 2: backward
+    assert kinds[("c", "b")] is False      # 2 -> 3: backward
+    assert kinds[("b", "e")] is True       # 3 -> 0: forward

@@ -1,0 +1,130 @@
+"""Unit tests for §7.5 strategy, UIB register layout and message types."""
+
+import pytest
+
+from repro.core.messages import (
+    FRM,
+    UFM,
+    UIM,
+    UNMFields,
+    UpdateType,
+    make_probe,
+)
+from repro.core.registers import (
+    TABLE1_MAPPING,
+    FlowIndexAllocator,
+    define_uib,
+)
+from repro.core.strategy import choose_update_type
+from repro.p4.registers import RegisterFile
+from repro.topo.synthetic import FIG1_NEW_PATH, FIG1_OLD_PATH
+
+
+# -- strategy (§7.5) ----------------------------------------------------------
+
+def test_fig1_scenario_picks_dual():
+    """Fig. 1 has a backward segment -> DL."""
+    assert choose_update_type(FIG1_OLD_PATH, FIG1_NEW_PATH) is UpdateType.DUAL
+
+
+def test_small_forward_detour_picks_single():
+    old = ["a", "x", "b"]
+    new = ["a", "y", "z", "b"]
+    assert choose_update_type(old, new) is UpdateType.SINGLE
+
+
+def test_large_forward_detour_picks_dual():
+    old = ["a", "x", "b"]
+    new = ["a", "p1", "p2", "p3", "p4", "p5", "p6", "b"]
+    assert choose_update_type(old, new) is UpdateType.DUAL
+
+
+def test_threshold_is_configurable():
+    old = ["a", "x", "b"]
+    new = ["a", "p1", "p2", "p3", "p4", "p5", "p6", "b"]
+    assert choose_update_type(old, new, threshold=10) is UpdateType.SINGLE
+
+
+def test_backward_segment_forces_dual_even_if_small():
+    old = ["a", "b", "c", "d", "e"]
+    new = ["a", "d", "c", "b", "e"]
+    assert choose_update_type(old, new) is UpdateType.DUAL
+
+
+# -- UIB registers (Table 1) -----------------------------------------------------
+
+def test_uib_defines_all_table1_registers():
+    regs = RegisterFile()
+    define_uib(regs, max_flows=8)
+    for table1_name, our_name in TABLE1_MAPPING.items():
+        assert our_name in regs, f"Table 1 register {table1_name} missing"
+
+
+def test_uib_register_geometry():
+    regs = RegisterFile()
+    define_uib(regs, max_flows=16)
+    assert regs["pend_version"].size == 16
+    assert regs["cur_egress_port"].read(0) == 0xFFFF  # NO_PORT initial
+
+
+def test_flow_index_allocator_dense_and_stable():
+    alloc = FlowIndexAllocator(max_flows=4)
+    a = alloc.index_of(1000)
+    b = alloc.index_of(2000)
+    assert (a, b) == (0, 1)
+    assert alloc.index_of(1000) == 0
+    assert alloc.known(1000) and not alloc.known(3000)
+    assert len(alloc) == 2
+
+
+def test_flow_index_allocator_overflow():
+    alloc = FlowIndexAllocator(max_flows=1)
+    alloc.index_of(1)
+    with pytest.raises(RuntimeError):
+        alloc.index_of(2)
+
+
+# -- messages -----------------------------------------------------------------------
+
+def test_unm_packet_roundtrip():
+    fields = UNMFields(
+        flow_id=7, layer=2, update_type=UpdateType.DUAL,
+        new_version=3, new_distance=4, old_version=2, old_distance=1,
+        counter=9,
+    )
+    packet = fields.to_packet()
+    decoded = UNMFields.from_packet(packet)
+    assert decoded == fields
+
+
+def test_unm_describe_mentions_key_fields():
+    fields = UNMFields(
+        flow_id=7, layer=1, update_type=UpdateType.SINGLE,
+        new_version=3, new_distance=4, old_version=2, old_distance=1,
+    )
+    text = fields.describe()
+    assert "flow=7" in text and "vn=3" in text
+
+
+def test_uim_describe_and_target():
+    uim = UIM(
+        target="s1", flow_id=1, version=2, new_distance=3,
+        egress_port=4, flow_size=1.5, update_type=UpdateType.SINGLE,
+        child_port=None,
+    )
+    assert uim.target == "s1"
+    assert "UIM" in uim.describe()
+
+
+def test_probe_has_ttl_and_headers():
+    probe = make_probe(flow_id=5, seq=10, ttl=64)
+    assert probe.ttl == 64
+    header = probe.header("probe")
+    assert header["flow_id"] == 5 and header["seq"] == 10
+
+
+def test_frm_and_ufm_describe():
+    frm = FRM(flow_id=1, src="a", dst="b", reporter="a")
+    ufm = UFM(flow_id=1, version=2, reporter="a", status="success")
+    assert "FRM" in frm.describe()
+    assert "success" in ufm.describe()

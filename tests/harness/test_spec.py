@@ -1,0 +1,110 @@
+"""Unit tests for the declarative experiment specs."""
+
+import json
+
+import pytest
+
+from repro.harness.spec import (
+    SpecError,
+    build_scenario,
+    build_topology,
+    run_spec,
+    run_spec_file,
+)
+
+
+def basic_spec():
+    return {
+        "topology": {"name": "ring", "n": 6, "latency_ms": 1.0},
+        "controller": "n0",
+        "system": "p4update",
+        "seed": 3,
+        "flows": [
+            {
+                "src": "n0", "dst": "n3", "size": 2.0,
+                "old_path": ["n0", "n1", "n2", "n3"],
+                "new_path": ["n0", "n5", "n4", "n3"],
+            }
+        ],
+    }
+
+
+def test_build_builtin_topologies():
+    assert build_topology({"name": "b4"}).num_nodes() == 12
+    assert build_topology({"name": "fattree", "k": 4}).num_nodes() == 20
+    assert build_topology({"name": "ring", "n": 5}).num_nodes() == 5
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(SpecError):
+        build_topology({"name": "not-a-topology"})
+    with pytest.raises(SpecError):
+        build_topology({})
+
+
+def test_build_scenario_resolves_paths():
+    spec = basic_spec()
+    spec["flows"][0]["old_path"] = "shortest"
+    spec["flows"][0]["new_path"] = "second-shortest"
+    scenario = build_scenario(spec)
+    flow = scenario.flows[0]
+    assert flow.old_path[0] == "n0" and flow.old_path[-1] == "n3"
+    assert flow.new_path != flow.old_path
+
+
+def test_k_shortest_path_spec():
+    spec = basic_spec()
+    spec["flows"][0]["new_path"] = "k-shortest:2"
+    scenario = build_scenario(spec)
+    assert scenario.flows[0].new_path[-1] == "n3"
+
+
+def test_bad_path_spec_rejected():
+    spec = basic_spec()
+    spec["flows"][0]["new_path"] = "scenic-route"
+    with pytest.raises(SpecError):
+        build_scenario(spec)
+
+
+def test_missing_flows_rejected():
+    with pytest.raises(SpecError):
+        build_scenario({"topology": {"name": "b4"}})
+
+
+def test_missing_flow_endpoint_rejected():
+    spec = basic_spec()
+    del spec["flows"][0]["dst"]
+    with pytest.raises(SpecError):
+        build_scenario(spec)
+
+
+def test_run_spec_end_to_end():
+    result = run_spec(basic_spec())
+    assert result.completed
+    assert result.consistency_ok
+    assert result.system == "p4update"
+
+
+def test_run_spec_file(tmp_path):
+    path = tmp_path / "exp.json"
+    path.write_text(json.dumps(basic_spec()))
+    result = run_spec_file(str(path))
+    assert result.completed
+
+
+def test_cli_run_command(tmp_path, capsys):
+    from repro.harness.cli import main
+
+    path = tmp_path / "exp.json"
+    path.write_text(json.dumps(basic_spec()))
+    assert main(["run", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "completed:  True" in out
+
+
+def test_spec_with_dionysus_delays():
+    spec = basic_spec()
+    spec["dionysus_install_delays"] = True
+    result = run_spec(spec)
+    assert result.completed
+    assert result.total_update_time_ms > 50.0   # exp(100) installs dominate

@@ -1,0 +1,99 @@
+"""Unit tests for the BMv2-style JSON export."""
+
+import json
+
+import pytest
+
+from repro.core.dataplane import P4UpdateProgram
+from repro.core.messages import PROBE_HEADER, UNM_HEADER
+from repro.core.registers import TABLE1_MAPPING
+from repro.p4.compile import (
+    ConfigError,
+    diff_configs,
+    export_json,
+    export_program,
+    load_skeleton,
+)
+from repro.p4.pipeline import PipelineProgram
+from repro.p4.tables import MatchKind, Table
+
+
+def small_program():
+    program = PipelineProgram()
+    program.registers.define("counters", 8, 32)
+    program.define_table(
+        Table("fwd", ["dst"], [MatchKind.LPM], default_action="drop")
+    )
+    program.set_clone_session(3, 3)
+    return program
+
+
+def test_export_contains_declarations():
+    config = export_program(small_program(), name="demo")
+    assert config["program"] == "demo"
+    assert config["register_arrays"] == [
+        {"name": "counters", "size": 8, "bitwidth": 32}
+    ]
+    table = config["pipelines"][0]["tables"][0]
+    assert table["key"] == [{"field": "dst", "match_type": "lpm"}]
+    assert config["clone_sessions"] == [{"session": 3, "port": 3}]
+
+
+def test_export_json_stable():
+    a = export_json(small_program())
+    b = export_json(small_program())
+    assert a == b
+    json.loads(a)       # valid JSON
+
+
+def test_p4update_program_exports_table1_registers():
+    """The exported config shows every Table 1 register (UIB)."""
+    program = P4UpdateProgram(max_flows=32)
+    config = export_program(
+        program, name="p4update",
+        header_types={"unm": UNM_HEADER, "probe": PROBE_HEADER},
+    )
+    exported = {reg["name"] for reg in config["register_arrays"]}
+    for our_name in TABLE1_MAPPING.values():
+        assert our_name in exported
+    header_names = {h["name"] for h in config["header_types"]}
+    assert {"unm", "probe"} <= header_names
+
+
+def test_roundtrip_skeleton():
+    config = export_program(small_program())
+    skeleton = load_skeleton(config)
+    assert "counters" in skeleton.registers
+    assert skeleton.registers["counters"].size == 8
+    assert "fwd" in skeleton.tables
+    assert skeleton.tables["fwd"].match_kinds == (MatchKind.LPM,)
+    assert skeleton.clone_sessions == {3: 3}
+    # Re-export matches the original (fixpoint).
+    assert export_program(skeleton) == export_program(small_program())
+
+
+def test_load_rejects_unknown_version():
+    with pytest.raises(ConfigError):
+        load_skeleton({"format_version": 99})
+
+
+def test_diff_detects_changes():
+    old = export_program(small_program())
+    modified = small_program()
+    modified.registers.define("extra", 4, 16)
+    modified.define_table(Table("acl", ["src"], [MatchKind.TERNARY]))
+    new = export_program(modified)
+    changes = diff_configs(old, new)
+    assert "register added: extra" in changes
+    assert "table added: acl" in changes
+    assert diff_configs(old, old) == []
+
+
+def test_diff_detects_resize_and_removal():
+    old = export_program(small_program())
+    other = PipelineProgram()
+    other.registers.define("counters", 16, 32)     # resized
+    new = export_program(other)
+    changes = diff_configs(old, new)
+    assert any("resized" in c for c in changes)
+    assert "table removed: fwd" in changes

@@ -1,0 +1,94 @@
+"""Unit tests for headers and packets."""
+
+import pytest
+
+from repro.p4.packet import Header, HeaderField, HeaderType, InvalidHeaderAccess, Packet
+
+
+def make_type():
+    return HeaderType(
+        "unm", [HeaderField("version", 16), HeaderField("distance", 16)]
+    )
+
+
+def test_header_type_requires_fields():
+    with pytest.raises(ValueError):
+        HeaderType("empty", [])
+
+
+def test_field_write_sets_valid():
+    header = make_type().instantiate()
+    assert not header.is_valid()
+    header["version"] = 3
+    assert header.is_valid()
+    assert header["version"] == 3
+
+
+def test_field_width_truncation():
+    header = make_type().instantiate()
+    header["version"] = 0x1_FFFF  # 17 bits into a 16-bit field
+    assert header["version"] == 0xFFFF
+
+
+def test_read_invalid_header_raises():
+    header = make_type().instantiate()
+    with pytest.raises(InvalidHeaderAccess):
+        _ = header["version"]
+
+
+def test_unknown_field_raises():
+    header = make_type().instantiate()
+    with pytest.raises(KeyError):
+        header["nope"] = 1
+
+
+def test_tolerant_get_on_invalid_header():
+    header = make_type().instantiate()
+    assert header.get("version", 42) == 42
+
+
+def test_set_invalid_hides_values():
+    header = make_type().instantiate()
+    header["version"] = 7
+    header.set_invalid()
+    assert not header.is_valid()
+    header.set_valid()
+    assert header["version"] == 7
+
+
+def test_copy_from_requires_same_type():
+    t1 = make_type()
+    h1 = t1.instantiate()
+    h2 = HeaderType("other", [HeaderField("x", 8)]).instantiate()
+    with pytest.raises(TypeError):
+        h1.copy_from(h2)
+
+
+def test_packet_ids_are_unique():
+    assert Packet().packet_id != Packet().packet_id
+
+
+def test_packet_clone_deep_copies_headers():
+    packet = Packet(payload={"k": [1]})
+    header = packet.add_header("unm", make_type().instantiate())
+    header["version"] = 5
+    twin = packet.clone()
+    twin.header("unm")["version"] = 9
+    twin.payload["k"].append(2)
+    assert packet.header("unm")["version"] == 5
+    assert packet.payload == {"k": [1]}
+    assert twin.packet_id != packet.packet_id
+
+
+def test_has_valid():
+    packet = Packet()
+    packet.add_header("unm", make_type().instantiate())
+    assert not packet.has_valid("unm")
+    packet.header("unm")["version"] = 1
+    assert packet.has_valid("unm")
+    assert not packet.has_valid("missing")
+
+
+def test_missing_header_lookup_raises():
+    with pytest.raises(KeyError):
+        Packet().header("ghost")

@@ -1,0 +1,204 @@
+"""Unit tests for the pipeline driver and P4Switch node."""
+
+import pytest
+
+from repro.p4.packet import HeaderField, HeaderType, Packet
+from repro.p4.pipeline import Pipeline, PipelineProgram
+from repro.p4.switch import P4Switch
+from repro.p4.tables import Table, TableEntry
+from repro.params import DelayDistribution, SimParams
+from repro.sim.engine import Engine
+from repro.sim.links import ControlChannel, Link
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+TAG = HeaderType("tag", [HeaderField("value", 32)])
+
+
+class ForwardingProgram(PipelineProgram):
+    """Minimal L2-style program: exact match on tag.value -> port."""
+
+    def __init__(self):
+        super().__init__()
+        self.define_table(Table("fwd", ["value"]))
+        self.registers.define("seen", 16)
+
+    def ingress(self, ctx):
+        packet = ctx.packet
+        if not packet.has_valid("tag"):
+            ctx.drop()
+            return
+        value = packet.header("tag")["value"]
+        self.registers["seen"].write(value % 16, 1)
+        hit = self.table("fwd").lookup((value,))
+        if hit is None:
+            ctx.drop()
+            return
+        ctx.forward(hit.params[0])
+
+
+def tagged_packet(value):
+    packet = Packet()
+    header = packet.add_header("tag", TAG.instantiate())
+    header["value"] = value
+    return packet
+
+
+def fast_params():
+    return SimParams(
+        pipeline_delay=DelayDistribution.constant(0.1),
+        resubmit_interval_ms=0.5,
+    )
+
+
+def test_pipeline_forwards_on_table_hit():
+    program = ForwardingProgram()
+    program.table("fwd").add(TableEntry(key=(5,), action="set_port", params=(2,)))
+    result = Pipeline(program).process(tagged_packet(5), in_port=1)
+    assert result.egress_port == 2 and not result.dropped
+
+
+def test_pipeline_drops_on_miss():
+    program = ForwardingProgram()
+    result = Pipeline(program).process(tagged_packet(5), in_port=1)
+    assert result.dropped
+
+
+def test_registers_updated_from_data_plane():
+    program = ForwardingProgram()
+    program.table("fwd").add(TableEntry(key=(3,), action="set_port", params=(1,)))
+    Pipeline(program).process(tagged_packet(3), in_port=1)
+    assert program.registers["seen"].read(3) == 1
+
+
+class CloningProgram(PipelineProgram):
+    """Forwards on port 1 and clones to session 7 with an edited header."""
+
+    def ingress(self, ctx):
+        ctx.forward(1)
+        ctx.clone_to_session(7)
+
+    def egress(self, ctx):
+        if ctx.metadata.get("is_clone"):
+            ctx.packet.meta["cloned"] = True
+
+
+def test_clone_goes_to_session_port_through_egress():
+    program = CloningProgram()
+    program.set_clone_session(7, 9)
+    result = Pipeline(program).process(Packet(), in_port=0)
+    assert result.egress_port == 1
+    assert len(result.clones) == 1
+    port, clone = result.clones[0]
+    assert port == 9
+    assert clone.meta.get("cloned") is True
+
+
+def test_clone_to_undefined_session_is_discarded():
+    program = CloningProgram()
+    result = Pipeline(program).process(Packet(), in_port=0)
+    assert result.clones == []
+
+
+class WaitingProgram(PipelineProgram):
+    """Resubmits until a register flag flips, then forwards."""
+
+    def __init__(self):
+        super().__init__()
+        self.registers.define("ready", 1)
+
+    def ingress(self, ctx):
+        if self.registers["ready"].read(0):
+            ctx.forward(1)
+        else:
+            ctx.carry("waited", True)
+            ctx.resubmit()
+
+
+class Sink(Node):
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def handle_message(self, message, in_port):
+        self.received.append((self.now, message))
+
+
+def wire_switch(program, params=None):
+    net = Network(Engine())
+    switch = net.add_node(P4Switch("s1", program, params=params or fast_params()))
+    sink = net.add_node(Sink("sink"))
+    net.add_link(Link("s1", 1, "sink", 1, latency_ms=1.0))
+    return net, switch, sink
+
+
+def test_switch_resubmits_until_register_ready():
+    program = WaitingProgram()
+    net, switch, sink = wire_switch(program)
+    switch.inject(Packet())
+    # Flip the flag from the "control plane" at t=3ms.
+    net.engine.schedule(3.0, program.registers["ready"].write, 0, 1)
+    net.run()
+    assert len(sink.received) == 1
+    arrival = sink.received[0][0]
+    assert arrival > 3.0
+    assert switch.resubmissions >= 1
+
+
+def test_switch_gives_up_after_max_resubmits():
+    program = WaitingProgram()
+    params = fast_params()
+    params.max_resubmits = 3
+    net, switch, sink = wire_switch(program, params)
+    switch.inject(Packet())
+    net.run()
+    assert sink.received == []
+    assert switch.packets_dropped == 1
+
+
+def test_switch_rejects_non_packet_messages():
+    program = ForwardingProgram()
+    net, switch, _ = wire_switch(program)
+    with pytest.raises(TypeError):
+        switch.handle_message("not-a-packet", 1)
+
+
+class PuntingProgram(PipelineProgram):
+    def ingress(self, ctx):
+        ctx.to_cpu("flow_report")
+        ctx.drop()
+
+
+def test_punt_invokes_hook():
+    program = PuntingProgram()
+    net, switch, _ = wire_switch(program)
+    punts = []
+    switch.on_punt = lambda sw, punt: punts.append((sw.name, punt.reason))
+    switch.inject(Packet())
+    net.run()
+    assert punts == [("s1", "flow_report")]
+
+
+def test_forward_hook_observes_emissions():
+    program = ForwardingProgram()
+    program.table("fwd").add(TableEntry(key=(4,), action="set_port", params=(1,)))
+    net, switch, sink = wire_switch(program)
+    seen = []
+    switch.on_forward = lambda sw, pkt, port: seen.append(port)
+    switch.handle_message(tagged_packet(4), in_port=1)
+    net.run()
+    assert seen == [1]
+    assert len(sink.received) == 1
+
+
+def test_runtime_api_register_and_table_access():
+    program = ForwardingProgram()
+    net, switch, sink = wire_switch(program)
+    switch.runtime.add_table_entry(
+        "fwd", TableEntry(key=(6,), action="set_port", params=(1,))
+    )
+    switch.runtime.write_register("seen", 0, 42)
+    assert switch.runtime.read_register("seen", 0) == 42
+    switch.handle_message(tagged_packet(6), in_port=1)
+    net.run()
+    assert len(sink.received) == 1

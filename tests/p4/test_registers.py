@@ -1,0 +1,74 @@
+"""Unit tests for register arrays."""
+
+import pytest
+
+from repro.p4.registers import RegisterArray, RegisterFile
+
+
+def test_initial_value():
+    array = RegisterArray("r", 4, bits=8, initial=7)
+    assert array.snapshot() == [7, 7, 7, 7]
+
+
+def test_read_write_roundtrip():
+    array = RegisterArray("r", 4)
+    array.write(2, 99)
+    assert array.read(2) == 99
+    assert array.read(0) == 0
+
+
+def test_width_masking():
+    array = RegisterArray("r", 1, bits=4)
+    array.write(0, 0x1F)
+    assert array.read(0) == 0xF
+
+
+def test_bounds_checked():
+    array = RegisterArray("r", 2)
+    with pytest.raises(IndexError):
+        array.read(2)
+    with pytest.raises(IndexError):
+        array.write(-1, 0)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        RegisterArray("r", 0)
+    with pytest.raises(ValueError):
+        RegisterArray("r", 1, bits=0)
+
+
+def test_access_counters():
+    array = RegisterArray("r", 2)
+    array.write(0, 1)
+    array.read(0)
+    array.read(1)
+    assert array.writes == 1 and array.reads == 2
+
+
+def test_reset():
+    array = RegisterArray("r", 3)
+    array.write(1, 5)
+    array.reset()
+    assert array.snapshot() == [0, 0, 0]
+
+
+def test_register_file_define_and_lookup():
+    regs = RegisterFile()
+    regs.define("a", 4)
+    regs.define("b", 2)
+    assert "a" in regs and "c" not in regs
+    assert regs.names() == ["a", "b"]
+    assert regs["a"].size == 4
+
+
+def test_register_file_duplicate_rejected():
+    regs = RegisterFile()
+    regs.define("a", 4)
+    with pytest.raises(ValueError):
+        regs.define("a", 4)
+
+
+def test_register_file_missing_lookup_raises():
+    with pytest.raises(KeyError):
+        RegisterFile()["ghost"]

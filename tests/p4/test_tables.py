@@ -1,0 +1,82 @@
+"""Unit tests for match-action tables."""
+
+import pytest
+
+from repro.p4.tables import MatchKind, Table, TableEntry
+
+
+def test_exact_hit_and_miss():
+    table = Table("fwd", ["flow_id"])
+    table.add(TableEntry(key=(7,), action="set_port", params=(3,)))
+    hit = table.lookup((7,))
+    assert hit is not None and hit.action == "set_port" and hit.params == (3,)
+    assert table.lookup((8,)) is None
+    assert table.hits == 1 and table.misses == 1
+
+
+def test_default_action_on_miss():
+    table = Table("fwd", ["flow_id"], default_action="to_cpu", default_params=("new",))
+    hit = table.lookup((123,))
+    assert hit is not None and hit.action == "to_cpu" and hit.params == ("new",)
+
+
+def test_key_arity_enforced():
+    table = Table("t", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add(TableEntry(key=(1,), action="x"))
+
+
+def test_match_kind_arity_enforced():
+    with pytest.raises(ValueError):
+        Table("t", ["a", "b"], match_kinds=[MatchKind.EXACT])
+
+
+def test_remove_entry():
+    table = Table("t", ["a"])
+    table.add(TableEntry(key=(1,), action="x"))
+    assert table.remove((1,)) is True
+    assert table.remove((1,)) is False
+    assert table.lookup((1,)) is None
+
+
+def test_remove_with_duplicate_keys_keeps_remaining():
+    table = Table("t", ["a"])
+    table.add(TableEntry(key=(1,), action="first"))
+    table.add(TableEntry(key=(1,), action="second"))
+    table.remove((1,))
+    hit = table.lookup((1,))
+    assert hit is not None and hit.action == "second"
+
+
+def test_clear():
+    table = Table("t", ["a"])
+    table.add(TableEntry(key=(1,), action="x"))
+    table.clear()
+    assert table.lookup((1,)) is None
+    assert table.entries == []
+
+
+def test_ternary_masking_and_priority():
+    table = Table("acl", ["addr"], match_kinds=[MatchKind.TERNARY])
+    table.add(TableEntry(key=((0x10, 0xF0),), action="broad", priority=1))
+    table.add(TableEntry(key=((0x12, 0xFF),), action="narrow", priority=5))
+    assert table.lookup((0x12,)).action == "narrow"
+    assert table.lookup((0x15,)).action == "broad"
+    assert table.lookup((0x25,)) is None
+
+
+def test_lpm_longest_prefix_wins():
+    table = Table("routes", ["dst"], match_kinds=[MatchKind.LPM])
+    # 10.0.0.0/8 vs 10.1.0.0/16 over 32-bit ints.
+    table.add(TableEntry(key=(((10 << 24), 8),), action="short"))
+    table.add(TableEntry(key=(((10 << 24) | (1 << 16), 16),), action="long"))
+    addr_in_16 = (10 << 24) | (1 << 16) | 5
+    addr_in_8 = (10 << 24) | (9 << 16)
+    assert table.lookup((addr_in_16,)).action == "long"
+    assert table.lookup((addr_in_8,)).action == "short"
+
+
+def test_lpm_zero_prefix_is_catch_all():
+    table = Table("routes", ["dst"], match_kinds=[MatchKind.LPM])
+    table.add(TableEntry(key=((0, 0),), action="default_route"))
+    assert table.lookup((0xDEADBEEF,)).action == "default_route"

@@ -1,0 +1,122 @@
+"""Unit tests for fault injection."""
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.sim.faults import (
+    CompositeFaultModel,
+    FaultAction,
+    FaultModel,
+    ScriptedFault,
+)
+from repro.sim.links import Link
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+class Sink(Node):
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def handle_message(self, message, in_port):
+        self.received.append((self.now, message))
+
+
+def wired_pair():
+    net = Network(Engine())
+    a = net.add_node(Sink("a"))
+    b = net.add_node(Sink("b"))
+    net.add_link(Link("a", 1, "b", 1, latency_ms=1.0))
+    return net, a, b
+
+
+def test_default_model_delivers_everything():
+    model = FaultModel(rng=np.random.default_rng(0))
+    decision = model.decide("msg")
+    assert decision.action is FaultAction.DELIVER
+
+
+def test_drop_all():
+    net, a, b = wired_pair()
+    net.fault_model = FaultModel(rng=np.random.default_rng(0), drop_prob=1.0)
+    a.send(1, "gone")
+    net.run()
+    assert b.received == []
+    assert net.fault_model.dropped == 1
+
+
+def test_delay_adds_extra_latency():
+    net, a, b = wired_pair()
+    net.fault_model = FaultModel(
+        rng=np.random.default_rng(0), delay_prob=1.0, delay_ms=50.0
+    )
+    a.send(1, "slow")
+    net.run()
+    assert b.received == [(51.0, "slow")]
+
+
+def test_duplicate_delivers_twice():
+    net, a, b = wired_pair()
+    net.fault_model = FaultModel(rng=np.random.default_rng(0), duplicate_prob=1.0)
+    a.send(1, "twin")
+    net.run()
+    assert len(b.received) == 2
+
+
+def test_corrupt_uses_mutator_on_a_copy():
+    net, a, b = wired_pair()
+    original = {"value": 1}
+
+    def flip(msg):
+        msg["value"] = 999
+        return msg
+
+    net.fault_model = FaultModel(
+        rng=np.random.default_rng(0), corrupt_prob=1.0, corruptor=flip
+    )
+    a.send(1, original)
+    net.run()
+    assert b.received[0][1] == {"value": 999}
+    assert original == {"value": 1}, "sender's copy must be untouched"
+
+
+def test_selector_scopes_faults():
+    model = FaultModel(
+        rng=np.random.default_rng(0),
+        drop_prob=1.0,
+        selector=lambda m: m == "victim",
+    )
+    assert model.decide("bystander").action is FaultAction.DELIVER
+    assert model.decide("victim").action is FaultAction.DROP
+
+
+def test_scripted_fault_max_hits():
+    fault = ScriptedFault(
+        matches=lambda m: True, action=FaultAction.DROP, max_hits=2
+    )
+    assert fault.decide("a").action is FaultAction.DROP
+    assert fault.decide("b").action is FaultAction.DROP
+    assert fault.decide("c").action is FaultAction.DELIVER
+
+
+def test_composite_first_match_wins():
+    model = CompositeFaultModel([
+        ScriptedFault(matches=lambda m: m == "x", action=FaultAction.DROP),
+        ScriptedFault(
+            matches=lambda m: True, action=FaultAction.DELAY, extra_delay_ms=9.0
+        ),
+    ])
+    assert model.decide("x").action is FaultAction.DROP
+    decision = model.decide("y")
+    assert decision.action is FaultAction.DELAY
+    assert decision.extra_delay_ms == 9.0
+
+
+def test_fault_probability_is_seed_deterministic():
+    counts = []
+    for _ in range(2):
+        model = FaultModel(rng=np.random.default_rng(42), drop_prob=0.5)
+        outcome = [model.decide(i).action for i in range(100)]
+        counts.append(outcome)
+    assert counts[0] == counts[1]

@@ -1,0 +1,71 @@
+"""Unit tests for the trace log."""
+
+from repro.sim.trace import (
+    KIND_MSG_SEND,
+    KIND_RULE_CHANGE,
+    Trace,
+    TraceEvent,
+)
+
+
+def sample_trace():
+    trace = Trace()
+    trace.record(1.0, KIND_RULE_CHANGE, "a", flow=1)
+    trace.record(2.0, KIND_MSG_SEND, "a", message="UIM(x)")
+    trace.record(3.0, KIND_RULE_CHANGE, "b", flow=2)
+    trace.record(4.0, KIND_MSG_SEND, "b", message="UNM(y)")
+    return trace
+
+
+def test_record_and_len():
+    trace = sample_trace()
+    assert len(trace) == 4
+    assert isinstance(trace.events[0], TraceEvent)
+
+
+def test_of_kind_filters():
+    trace = sample_trace()
+    rules = trace.of_kind(KIND_RULE_CHANGE)
+    assert [e.node for e in rules] == ["a", "b"]
+    both = trace.of_kind(KIND_RULE_CHANGE, KIND_MSG_SEND)
+    assert len(both) == 4
+
+
+def test_at_node():
+    trace = sample_trace()
+    assert [e.time for e in trace.at_node("a")] == [1.0, 2.0]
+
+
+def test_between():
+    trace = sample_trace()
+    window = trace.between(2.0, 3.0)
+    assert [e.time for e in window] == [2.0, 3.0]
+
+
+def test_last():
+    trace = sample_trace()
+    last = trace.last(KIND_RULE_CHANGE)
+    assert last is not None and last.node == "b"
+    assert trace.last("never_happened") is None
+
+
+def test_subscribe_receives_future_events():
+    trace = Trace()
+    seen = []
+    trace.subscribe(seen.append)
+    trace.record(1.0, "x", "n")
+    assert len(seen) == 1 and seen[0].kind == "x"
+
+
+def test_iteration_order():
+    trace = sample_trace()
+    times = [e.time for e in trace]
+    assert times == sorted(times)
+
+
+def test_events_are_immutable():
+    import pytest
+
+    event = TraceEvent(1.0, "k", "n", {})
+    with pytest.raises(AttributeError):
+        event.time = 2.0

@@ -1,0 +1,111 @@
+"""Unit tests for the gravity model and path helpers."""
+
+import numpy as np
+import pytest
+
+from repro.topo import fig1_topology, line_topology, ring_topology
+from repro.traffic.gravity import gravity_flow_sizes, gravity_matrix, scale_to_capacity
+from repro.traffic.paths import edge_disjoint_detour, k_shortest_paths, second_shortest_path
+
+
+def test_gravity_matrix_shape_and_positivity():
+    rng = np.random.default_rng(1)
+    nodes = ["a", "b", "c", "d"]
+    matrix = gravity_matrix(nodes, rng, total_traffic=10.0)
+    assert len(matrix) == 12  # n*(n-1) ordered pairs
+    assert all(v > 0 for v in matrix.values())
+    assert ("a", "a") not in matrix
+
+
+def test_gravity_matrix_total_bounded():
+    rng = np.random.default_rng(2)
+    matrix = gravity_matrix(["a", "b", "c"], rng, total_traffic=5.0)
+    assert sum(matrix.values()) <= 5.0 + 1e-9
+
+
+def test_gravity_matrix_needs_two_nodes():
+    with pytest.raises(ValueError):
+        gravity_matrix(["solo"], np.random.default_rng(0))
+
+
+def test_gravity_matrix_seed_determinism():
+    nodes = ["a", "b", "c"]
+    m1 = gravity_matrix(nodes, np.random.default_rng(7))
+    m2 = gravity_matrix(nodes, np.random.default_rng(7))
+    assert m1 == m2
+
+
+def test_gravity_flow_sizes_mean():
+    rng = np.random.default_rng(3)
+    pairs = [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")]
+    sizes = gravity_flow_sizes(pairs, rng, mean_size=4.0)
+    assert len(sizes) == 4
+    assert np.mean(sizes) == pytest.approx(4.0)
+    assert all(s >= 0 for s in sizes)
+
+
+def test_gravity_flow_sizes_empty():
+    assert gravity_flow_sizes([], np.random.default_rng(0)) == []
+
+
+def test_scale_to_capacity_hits_target_utilisation():
+    sizes = [1.0, 2.0]
+    loads = {"e1": 3.0, "e2": 1.0}
+    caps = {"e1": 10.0, "e2": 10.0}
+    scaled = scale_to_capacity(sizes, loads, caps, utilisation=0.9)
+    factor = scaled[0] / sizes[0]
+    # Worst link was e1 at 0.3 utilisation -> factor 3.
+    assert factor == pytest.approx(3.0)
+
+
+def test_scale_to_capacity_no_finite_caps_is_identity():
+    sizes = [1.0]
+    assert scale_to_capacity(sizes, {"e": 1.0}, {"e": float("inf")}) == sizes
+
+
+def test_scale_to_capacity_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        scale_to_capacity([1.0], {"e": 1.0}, {"e": 0.0})
+
+
+def test_k_shortest_on_ring_gives_both_directions():
+    topo = ring_topology(6)
+    paths = k_shortest_paths(topo, "n0", "n3", 2)
+    assert len(paths) == 2
+    assert paths[0] != paths[1]
+    assert all(p[0] == "n0" and p[-1] == "n3" for p in paths)
+
+
+def test_second_shortest_none_on_line():
+    topo = line_topology(4)
+    assert second_shortest_path(topo, "n0", "n3") is None
+
+
+def test_second_shortest_is_longer_or_equal():
+    topo = fig1_topology()
+    first = topo.shortest_path("v0", "v7")
+    second = second_shortest_path(topo, "v0", "v7")
+    assert second is not None
+    assert topo.path_latency(second) >= topo.path_latency(first)
+
+
+def test_k_shortest_same_node_rejected():
+    topo = ring_topology(4)
+    with pytest.raises(ValueError):
+        k_shortest_paths(topo, "n0", "n0", 2)
+
+
+def test_edge_disjoint_detour_on_ring():
+    topo = ring_topology(6)
+    detour = edge_disjoint_detour(topo, "n0", "n2")
+    assert detour is not None
+    shortest = topo.shortest_path("n0", "n2")
+    shared = set(map(frozenset, zip(shortest, shortest[1:]))) & set(
+        map(frozenset, zip(detour, detour[1:]))
+    )
+    assert not shared
+
+
+def test_edge_disjoint_detour_none_on_line():
+    topo = line_topology(3)
+    assert edge_disjoint_detour(topo, "n0", "n2") is None
