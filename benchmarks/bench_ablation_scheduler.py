@@ -8,7 +8,7 @@ ez-Segway additionally serializes on the precomputed static ranks.
 """
 
 import numpy as np
-from benchutils import print_header
+from benchutils import emit_manifest, instrumented_obs, print_header
 
 from repro.harness.experiment import run_experiment
 from repro.harness.scenarios import UpdateScenario
@@ -78,4 +78,13 @@ def test_dynamic_beats_static_scheduling(benchmark):
 
     assert means["p4update-sl"] < means["ezsegway"], (
         "the dynamic scheduler must resolve the chain faster"
+    )
+
+    obs = instrumented_obs("p4update-sl", chain_scenario(), SimParams(seed=0))
+    emit_manifest(
+        "ablation_scheduler",
+        params={"runs": RUNS, "chain_depth": CHAIN},
+        results={"mean_ms": means, "advantage_pct": advantage},
+        seed=0,
+        obs=obs,
     )

@@ -15,7 +15,7 @@ meaningfully worse than the better of the two forced modes.
 """
 
 import numpy as np
-from benchutils import print_header
+from benchutils import emit_manifest, print_header
 
 from repro.harness.experiment import run_many
 from repro.harness.scenarios import UpdateScenario
@@ -89,3 +89,10 @@ def test_sl_dl_crossover(benchmark):
     for label, means in rows:
         best = min(means["p4update-sl"], means["p4update-dl"])
         assert means["p4update"] <= best * 1.10, (label, means)
+
+    emit_manifest(
+        "ablation_sl_vs_dl",
+        params={"runs": RUNS},
+        results={label: means for label, means in rows},
+        seed=0,
+    )

@@ -10,7 +10,7 @@ Paper's result: ez-Segway traps packets in the {v1, v2, v3} loop until
 packet exactly once at v1 and delivers every packet at v4.
 """
 
-from benchutils import print_header
+from benchutils import emit_manifest, print_header
 
 from repro.harness.fig_experiments import run_fig2
 from repro.params import SimParams
@@ -54,3 +54,32 @@ def test_fig2(benchmark):
     # without any consistency violation.
     assert p4.consistency_violations == 0
     assert ez.consistency_violations > 0
+
+    from repro.harness.scenarios import single_flow_scenario
+    from repro.topo import fig1_topology
+
+    import numpy as np
+    from benchutils import instrumented_obs
+
+    obs = instrumented_obs(
+        "p4update",
+        single_flow_scenario(fig1_topology(), np.random.default_rng(0)),
+        SimParams(seed=0),
+    )
+    emit_manifest(
+        "fig2_inconsistency",
+        params={"seed": 0},
+        results={
+            name: {
+                "probes_sent": r.probes_sent,
+                "looped_seqs_at_v1": len(r.duplicates_at_v1),
+                "loop_window_ms": r.loop_window_ms,
+                "ttl_losses": r.ttl_losses,
+                "delivered_at_v4": len({o.seq for o in r.delivered_at_v4}),
+                "consistency_violations": r.consistency_violations,
+            }
+            for name, r in results.items()
+        },
+        seed=0,
+        obs=obs,
+    )

@@ -12,7 +12,7 @@ configuration is established:
 """
 
 import numpy as np
-from benchutils import print_header
+from benchutils import emit_manifest, print_header
 
 from repro.core.messages import UpdateType
 from repro.harness.baselines_build import build_ezsegway_network
@@ -109,3 +109,13 @@ def test_fastforward_depth(benchmark):
     # And the gap widens monotonically in k.
     ratios = [ez / p4 for _, p4, ez in rows]
     assert ratios[-1] > ratios[0] * 2
+
+    emit_manifest(
+        "fig3_fastforward_depth",
+        params={"depths": list(DEPTHS), "runs": RUNS},
+        results={
+            f"depth_{depth}": {"p4update_ms": p4, "ezsegway_ms": ez}
+            for depth, p4, ez in rows
+        },
+        seed=0,
+    )

@@ -9,7 +9,7 @@ setting."
 """
 
 import numpy as np
-from benchutils import print_cdf_series, print_header
+from benchutils import emit_manifest, print_cdf_series, print_header
 
 from repro.harness.fig_experiments import run_fig4
 from repro.params import SimParams
@@ -39,3 +39,15 @@ def test_fig4(benchmark):
     print(f"\nmeasured speedup: {speedup:.1f}x   (paper: about 4x)")
 
     assert speedup > 2.0, f"expected a clear fast-forward win, got {speedup:.2f}x"
+
+    emit_manifest(
+        "fig4_fastforward",
+        params={"runs": RUNS},
+        results={
+            "u3_completion_ms_mean": {
+                system: float(np.mean(samples)) for system, samples in times.items()
+            },
+            "speedup": speedup,
+        },
+        seed=0,
+    )

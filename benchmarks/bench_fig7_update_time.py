@@ -19,7 +19,7 @@ testbed — so the B4-multi assertion allows a small tolerance.
 """
 
 import numpy as np
-from benchutils import print_cdf_series, print_header
+from benchutils import emit_manifest, instrumented_obs, print_cdf_series, print_header
 
 from repro.harness.experiment import compare_systems
 from repro.harness.scenarios import multi_flow_scenario, single_flow_scenario
@@ -61,6 +61,18 @@ def report(title: str, comparison, paper_note: str) -> None:
     print(f"paper: {paper_note}")
 
 
+def emit(cell: str, comparison, obs=None) -> None:
+    results = {system: comparison.mean(system) for system in SYSTEMS}
+    results["skipped"] = comparison.skipped
+    emit_manifest(
+        "fig7_update_time",
+        params={"single_runs": SINGLE_RUNS, "multi_runs": MULTI_RUNS},
+        results={cell: results},
+        seed=0,
+        obs=obs,
+    )
+
+
 def assert_single_flow_shape(comparison) -> None:
     dl = comparison.mean("p4update-dl")
     # DL must be the best system; against ez-Segway allow seed noise
@@ -84,6 +96,12 @@ def test_fig7a_synthetic_single_flow(benchmark):
     assert_single_flow_shape(comparison)
     sl_dl = comparison.improvement("p4update-sl", "p4update-dl")
     assert sl_dl > 15.0, f"DL must clearly beat SL on the segmented Fig. 1 ({sl_dl:.1f}%)"
+    obs = instrumented_obs(
+        "p4update-dl",
+        single_flow_scenario(fig1_topology(), np.random.default_rng(0)),
+        SimParams(seed=0).with_dionysus_install_delay(),
+    )
+    emit("fig7a", comparison, obs=obs)
 
 
 def test_fig7c_b4_single_flow(benchmark):
@@ -96,6 +114,7 @@ def test_fig7c_b4_single_flow(benchmark):
         "P4Update (DL) beats ez by 40.9%",
     )
     assert_single_flow_shape(comparison)
+    emit("fig7c", comparison)
 
 
 def test_fig7e_internet2_single_flow(benchmark):
@@ -108,6 +127,7 @@ def test_fig7e_internet2_single_flow(benchmark):
         "P4Update (DL) beats ez by 9.3%",
     )
     assert_single_flow_shape(comparison)
+    emit("fig7e", comparison)
 
 
 def test_fig7b_fattree_multi_flow(benchmark):
@@ -122,6 +142,7 @@ def test_fig7b_fattree_multi_flow(benchmark):
     )
     assert comparison.mean("p4update-sl") < comparison.mean("ezsegway")
     assert comparison.mean("p4update-sl") < comparison.mean("central")
+    emit("fig7b", comparison)
 
 
 def test_fig7d_b4_multi_flow(benchmark):
@@ -138,6 +159,7 @@ def test_fig7d_b4_multi_flow(benchmark):
     assert best <= comparison.mean("ezsegway") * 1.15, (
         "P4Update must at least tie with ez-Segway on B4 multi-flow"
     )
+    emit("fig7d", comparison)
 
 
 def test_fig7f_internet2_multi_flow(benchmark):
@@ -151,3 +173,4 @@ def test_fig7f_internet2_multi_flow(benchmark):
     )
     assert comparison.mean("p4update-sl") < comparison.mean("ezsegway")
     assert comparison.mean("p4update-sl") < comparison.mean("central")
+    emit("fig7f", comparison)

@@ -16,7 +16,7 @@ and reports the ratio DL-P4Update / ez-Segway:
 import time
 
 import numpy as np
-from benchutils import print_header
+from benchutils import emit_manifest, print_header
 
 from repro.baselines.ezsegway import congestion_dependency_graph, prepare_ez_update
 from repro.core.messages import UpdateType
@@ -99,20 +99,41 @@ def _time_ez_congestion(topo, flows, updates=UPDATES) -> float:
     return per_recompute * updates + _time_ez(flows, updates)
 
 
-def collect_ratios():
+def collect_ratios(obs=None):
+    from repro.obs import NULL_OBS
+
+    obs = obs if obs is not None else NULL_OBS
     rows = []
     for label, topo_factory in TOPOLOGIES:
-        topo, scenario, deployment = _prep_workload(topo_factory)
-        flows = scenario.flows
-        t_p4 = _time_p4update(deployment, flows)
-        t_ez = _time_ez(flows)
-        t_ez_cong = _time_ez_congestion(topo, flows)
+        with obs.spans.span("preparation_workload", topology=label):
+            topo, scenario, deployment = _prep_workload(topo_factory)
+            flows = scenario.flows
+            with obs.spans.span("time_p4update"):
+                t_p4 = _time_p4update(deployment, flows)
+            with obs.spans.span("time_ezsegway"):
+                t_ez = _time_ez(flows)
+            with obs.spans.span("time_ezsegway_congestion"):
+                t_ez_cong = _time_ez_congestion(topo, flows)
+        if obs.enabled:
+            per_update_us = 1e6 / UPDATES
+            obs.metrics.histogram(
+                "prep_time_us", system="p4update"
+            ).observe(t_p4 * per_update_us)
+            obs.metrics.histogram(
+                "prep_time_us", system="ezsegway"
+            ).observe(t_ez * per_update_us)
+            obs.metrics.histogram(
+                "prep_time_us", system="ezsegway-congestion"
+            ).observe(t_ez_cong * per_update_us)
         rows.append((label, t_p4, t_ez, t_ez_cong))
     return rows
 
 
 def test_fig8_preparation_ratio(benchmark):
-    rows = benchmark.pedantic(collect_ratios, rounds=1, iterations=1)
+    from repro.obs import make_obs
+
+    obs = make_obs()
+    rows = benchmark.pedantic(collect_ratios, args=(obs,), rounds=1, iterations=1)
 
     print_header("Fig. 8a — preparation time ratio DL-P4Update / ez-Segway "
                  f"(no congestion freedom, {UPDATES} updates)")
@@ -132,3 +153,20 @@ def test_fig8_preparation_ratio(benchmark):
         assert ratio_b < 0.2, (
             f"{label}: congestion freedom must collapse the ratio ({ratio_b:.4f})"
         )
+
+    emit_manifest(
+        "fig8_preparation",
+        params={"updates": UPDATES, "topologies": [label for label, _ in TOPOLOGIES]},
+        results={
+            label: {
+                "p4update_s": t_p4,
+                "ezsegway_s": t_ez,
+                "ezsegway_congestion_s": t_ez_cong,
+                "ratio_a": t_p4 / t_ez,
+                "ratio_b": t_p4 / t_ez_cong,
+            }
+            for label, t_p4, t_ez, t_ez_cong in rows
+        },
+        seed=0,
+        obs=obs,
+    )

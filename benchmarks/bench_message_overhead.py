@@ -8,7 +8,7 @@ crosses the control channel twice per node update (command + ack) over
 several dependency rounds.
 """
 
-from benchutils import print_header
+from benchutils import emit_manifest, print_header
 
 from repro.consistency import LiveChecker
 from repro.core.messages import UpdateType
@@ -94,3 +94,18 @@ def test_message_overhead(benchmark):
     assert p4_dl.data_plane >= p4_sl.data_plane
     # Central needs no data-plane coordination at all.
     assert central.data_plane == 0
+
+    emit_manifest(
+        "message_overhead",
+        params={"topology": "fig1"},
+        results={
+            system: {
+                "control_plane": stats.control_plane,
+                "data_plane": stats.data_plane,
+                "by_type": dict(stats.by_type),
+                **({"rounds": rounds} if rounds is not None else {}),
+            }
+            for system, (stats, rounds) in results.items()
+        },
+        seed=0,
+    )

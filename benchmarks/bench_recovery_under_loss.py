@@ -8,7 +8,7 @@ must hold at every drop rate regardless of completion (§5-ii).
 """
 
 import numpy as np
-from benchutils import print_header
+from benchutils import emit_manifest, print_header
 
 from repro.consistency import LiveChecker
 from repro.core.messages import UpdateType
@@ -88,3 +88,17 @@ def test_recovery_under_unm_loss(benchmark):
     # per-hop retransmission would be the engineering fix.)
     assert by_key[(0.3, True)][0] >= by_key[(0.3, False)][0] + 3
     assert by_key[(0.2, True)][0] >= by_key[(0.2, False)][0] + 3
+
+    emit_manifest(
+        "recovery_under_loss",
+        params={"drop_rates": list(DROP_RATES), "runs": RUNS},
+        results={
+            f"drop_{drop}_recovery_{recovery}": {
+                "completed": completions,
+                "mean_ms": float(np.mean(durations)) if durations else None,
+                "consistent": consistent,
+            }
+            for drop, recovery, completions, durations, consistent in rows
+        },
+        seed=0,
+    )

@@ -11,7 +11,7 @@ number of flows times links.
 import time
 
 import numpy as np
-from benchutils import print_header
+from benchutils import emit_manifest, print_header
 
 from repro.baselines.ezsegway import congestion_dependency_graph
 from repro.core.messages import UpdateType
@@ -87,3 +87,18 @@ def test_prep_scales_with_topology_size(benchmark):
     # The congestion graph cost must dwarf P4Update's prep everywhere.
     for label, _, _, p4_us, graph_us in rows:
         assert graph_us > 5 * p4_us, (label, p4_us, graph_us)
+
+    emit_manifest(
+        "scalability_prep",
+        params={"topologies": [label for label, _, _ in TOPOLOGIES]},
+        results={
+            label: {
+                "nodes": n,
+                "flows": flows,
+                "p4update_prep_us": p4_us,
+                "ez_congestion_graph_us": graph_us,
+            }
+            for label, n, flows, p4_us, graph_us in rows
+        },
+        seed=0,
+    )

@@ -11,7 +11,7 @@ how many delivered packets followed a *mixed* old/new path:
 """
 
 import numpy as np
-from benchutils import print_header
+from benchutils import emit_manifest, print_header
 
 from repro.core.messages import UpdateType
 from repro.harness.build import build_p4update_network
@@ -97,3 +97,13 @@ def test_two_phase_gives_per_packet_consistency(benchmark):
     # Nothing is lost in any mode.
     for mode, (sent, delivered, _mixed) in rows.items():
         assert delivered == sent, (mode, sent, delivered)
+
+    emit_manifest(
+        "two_phase_consistency",
+        params={"runs": RUNS, "rate_pps": 500.0},
+        results={
+            mode: {"sent": sent, "delivered": delivered, "mixed": mixed}
+            for mode, (sent, delivered, mixed) in rows.items()
+        },
+        seed=0,
+    )

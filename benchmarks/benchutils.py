@@ -28,3 +28,28 @@ def print_cdf_series(label: str, samples) -> None:
     picks = [points[min(n - 1, int(q * n))] for q in (0.1, 0.25, 0.5, 0.75, 0.9)]
     series = "  ".join(f"({v:.0f}ms,{p:.2f})" for v, p in picks)
     print(f"{'':28s} CDF: {series}")
+
+
+def emit_manifest(name: str, *, params=None, results=None, seed=None, obs=None):
+    """Write/merge this bench's ``BENCH_<name>.json`` run manifest."""
+    from repro.obs import write_manifest
+
+    path = write_manifest(
+        name, params=params, results=results, seed=seed, obs=obs
+    )
+    print(f"manifest: {path}")
+    return path
+
+
+def instrumented_obs(system: str, scenario, params, congestion_aware: bool = True):
+    """One extra obs-enabled run of the bench's own scenario, so the
+    manifest carries real metric snapshots and phase-span timings."""
+    from repro.harness.experiment import run_experiment
+    from repro.obs import make_obs
+
+    obs = make_obs()
+    run_experiment(
+        system, scenario, params=params,
+        congestion_aware=congestion_aware, obs=obs,
+    )
+    return obs

@@ -84,6 +84,8 @@ class CentralSwitch(Node):
     def _complete_install(self, command: RuleCommand) -> None:
         hop = command.next_hop if command.next_hop is not None else LOCAL_DELIVER
         self.rules[command.flow_id] = hop
+        if self.obs.enabled:
+            self.obs.metrics.counter("rule_installs", node=self.name).inc()
         if self.forwarding_state is not None and hop != LOCAL_DELIVER:
             self.forwarding_state.set_rule(command.flow_id, self.name, hop)
         self.network.trace.record(
@@ -297,6 +299,11 @@ class CentralController(Node):
         round_id = next(self._round_ids)
         self._current_round = round_id
         self.rounds_executed += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("central_rounds", node=self.name).inc()
+            self.obs.metrics.histogram(
+                "central_round_size", node=self.name,
+            ).observe(len(chosen))
         for flow_id, node, hop in chosen:
             self._outstanding_acks.add((node, flow_id))
             self.pending[flow_id].remaining.pop(node, None)

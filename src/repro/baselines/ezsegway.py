@@ -576,6 +576,10 @@ class EzSegwaySwitch(Node):
         # capacity check itself.
         ignore_ranks = retries >= self.static_order_patience
         if self.congestion_aware and not self._admit(role, ignore_ranks):
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "scheduler_deferrals", node=self.name,
+                ).inc()
             self._deferred.append((role, gtm, retries + 1))
             self.engine.schedule(
                 self.params.resubmit_interval_ms, self._retry_deferred
@@ -641,6 +645,8 @@ class EzSegwaySwitch(Node):
             self._moved_ranks.setdefault(hop, set()).add(role.move_rank)
         self.rules[role.flow_id] = hop
         self.flipped[(role.flow_id, role.update_id)] = True
+        if self.obs.enabled:
+            self.obs.metrics.counter("rule_installs", node=self.name).inc()
         if self.forwarding_state is not None and hop != LOCAL_DELIVER:
             self.forwarding_state.set_rule(role.flow_id, self.name, hop)
         self.network.trace.record(

@@ -198,6 +198,10 @@ class P4UpdateController(Node):
         """Send all UIMs of a prepared update into the data plane."""
         record = self.flow_db[prepared.flow_id]
         record.update_sent_at = self.now
+        if self.obs.enabled:
+            self.obs.metrics.counter("uims_sent", node=self.name).inc(
+                len(prepared.uims)
+            )
         for uim in prepared.uims:
             self.send_control(uim)
         timeout = self.params.controller_update_timeout_ms
@@ -312,6 +316,11 @@ class P4UpdateController(Node):
         record = self.flow_db.get(ufm.flow_id)
         if ufm.status == "alarm":
             self.alarms.append(ufm)
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "controller_alarms", node=self.name,
+                    reason=ufm.reason or "unspecified",
+                ).inc()
             if record is not None:
                 record.alarms.append(ufm)
             if ufm.reason == "unm_timeout":
@@ -342,6 +351,12 @@ class P4UpdateController(Node):
             record.pending_path = None
             record.pending_version = None
             record.update_done_at = self.now
+            if self.obs.enabled:
+                self.obs.metrics.counter("updates_completed", node=self.name).inc()
+                if record.update_sent_at is not None:
+                    self.obs.metrics.histogram(
+                        "update_duration_ms", node=self.name,
+                    ).observe(self.now - record.update_sent_at)
             if self.network is not None:
                 self.network.trace.record(
                     self.now, KIND_UPDATE_DONE, self.name,
@@ -362,6 +377,8 @@ class P4UpdateController(Node):
         if self._retriggers.get(key, 0) >= self.max_retriggers:
             return
         self._retriggers[key] = self._retriggers.get(key, 0) + 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("update_retriggers", node=self.name).inc()
         for uim in prepared.uims:
             if uim.is_flow_egress or uim.is_segment_egress:
                 self.send_control(uim)

@@ -261,6 +261,13 @@ class P4UpdateProgram(PipelineProgram):
             uim, unm, state,
             allow_consecutive_dual=self.allow_consecutive_dual,
         )
+        agent = self.agent
+        obs = getattr(agent, "obs", None)       # test stubs have no obs
+        if obs is not None and obs.enabled:
+            obs.metrics.counter(
+                "unm_verdicts", node=agent.name,
+                verdict=decision.verdict.value,
+            ).inc()
 
         if decision.verdict is Verdict.WAIT:
             self.stats["unm_waits"] += 1

@@ -56,8 +56,19 @@ class CongestionScheduler:
         self._priority: dict[int, Priority] = {}
         self.deferrals = 0
         self.admissions = 0
+        # Observability instruments (None unless attach_obs is called
+        # with an enabled context).
+        self._m_admit = None
+        self._m_defer = None
 
     # -- configuration ----------------------------------------------------
+
+    def attach_obs(self, obs, node: str) -> None:
+        """Bind admit/defer counters labeled with the owning switch."""
+        if not obs.enabled:
+            return
+        self._m_admit = obs.metrics.counter("scheduler_admissions", node=node)
+        self._m_defer = obs.metrics.counter("scheduler_deferrals", node=node)
 
     def set_port_capacity(self, port: int, capacity: float) -> None:
         existing = self._budgets.get(port)
@@ -123,6 +134,8 @@ class CongestionScheduler:
             self._clear_wait(flow_id, new_port)
             self.abort_move(flow_id)
             self.admissions += 1
+            if self._m_admit is not None:
+                self._m_admit.inc()
             return True
 
         transit = self._transit.get(flow_id)
@@ -144,6 +157,8 @@ class CongestionScheduler:
 
         if not capacity_ok:
             self.deferrals += 1
+            if self._m_defer is not None:
+                self._m_defer.inc()
             self._waiting_for.setdefault(new_port, set()).add(flow_id)
             self._recompute_priorities()
             return False
@@ -153,6 +168,8 @@ class CongestionScheduler:
         self._clear_wait(flow_id, new_port)
         self._priority.pop(flow_id, None)
         self.admissions += 1
+        if self._m_admit is not None:
+            self._m_admit.inc()
         self._recompute_priorities()
         return True
 

@@ -297,6 +297,8 @@ class P4UpdateSwitch(P4Switch):
             # Traffic has moved: release the old link's reservation.
             self.program.scheduler.commit_move(uim.flow_id)
         self.installs_completed += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("rule_installs", node=self.name).inc()
         self._mirror_rule(uim.flow_id, uim.egress_port, record=True)
         if old_port not in (NO_PORT, LOCAL_DELIVER_PORT) and old_port != uim.egress_port:
             # §11 rule cleanup: tell the abandoned old parent that no
@@ -391,6 +393,8 @@ class P4UpdateSwitch(P4Switch):
             status="alarm", reason=reason,
         )
         self.alarms.append(ufm)
+        if self.obs.enabled:
+            self.obs.metrics.counter("verification_fail", node=self.name).inc()
         if self.network is not None:
             self.network.trace.record(
                 self.now, KIND_VERIFY_FAIL, self.name,

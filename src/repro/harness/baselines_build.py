@@ -16,6 +16,7 @@ from repro.baselines.central import CentralController, CentralSwitch
 from repro.baselines.ezsegway import EzSegwayController, EzSegwaySwitch
 from repro.consistency.state import ForwardingState
 from repro.harness.build import assign_ports
+from repro.obs.context import NULL_OBS, ObsContext
 from repro.params import SimParams
 from repro.sim.engine import Engine
 from repro.sim.links import ControlChannel, Link
@@ -63,13 +64,16 @@ def build_ezsegway_network(
     params: Optional[SimParams] = None,
     rng: Optional[np.random.Generator] = None,
     controller_name: str = "controller",
+    obs: Optional[ObsContext] = None,
 ) -> EzSegwayDeployment:
     params = params if params is not None else SimParams()
     rng = rng if rng is not None else params.rng()
+    obs = obs if obs is not None else NULL_OBS
     if topo.controller is None:
         topo.place_controller_at_centroid()
 
-    network = Network(Engine())
+    network = Network(Engine(), obs=obs)
+    obs.bind_engine(network.engine)
     forwarding_state = ForwardingState()
     switches: dict[str, EzSegwaySwitch] = {}
     for name in sorted(topo.nodes):
@@ -78,6 +82,7 @@ def build_ezsegway_network(
             rng=np.random.default_rng(rng.integers(0, 2**63)),
             forwarding_state=forwarding_state,
         )
+        switch.obs = obs
         network.add_node(switch)
         switches[name] = switch
 
@@ -98,6 +103,7 @@ def build_ezsegway_network(
         controller_name, topo, params=params,
         rng=np.random.default_rng(rng.integers(0, 2**63)),
     )
+    controller.obs = obs
     network.add_node(controller)
     network.set_controller(controller_name)
 
@@ -145,13 +151,16 @@ def build_central_network(
     rng: Optional[np.random.Generator] = None,
     controller_name: str = "controller",
     congestion_aware: bool = False,
+    obs: Optional[ObsContext] = None,
 ) -> CentralDeployment:
     params = params if params is not None else SimParams()
     rng = rng if rng is not None else params.rng()
+    obs = obs if obs is not None else NULL_OBS
     if topo.controller is None:
         topo.place_controller_at_centroid()
 
-    network = Network(Engine())
+    network = Network(Engine(), obs=obs)
+    obs.bind_engine(network.engine)
     forwarding_state = ForwardingState()
     switches: dict[str, CentralSwitch] = {}
     for name in sorted(topo.nodes):
@@ -160,6 +169,7 @@ def build_central_network(
             rng=np.random.default_rng(rng.integers(0, 2**63)),
             forwarding_state=forwarding_state,
         )
+        switch.obs = obs
         network.add_node(switch)
         switches[name] = switch
 
@@ -179,6 +189,7 @@ def build_central_network(
         rng=np.random.default_rng(rng.integers(0, 2**63)),
         congestion_aware=congestion_aware,
     )
+    controller.obs = obs
     network.add_node(controller)
     network.set_controller(controller_name)
 

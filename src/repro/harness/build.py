@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.consistency.state import ForwardingState
 from repro.core.controller import P4UpdateController
+from repro.obs.context import NULL_OBS, ObsContext
 from repro.core.labeling import distance_labels
 from repro.core.registers import LOCAL_DELIVER_PORT
 from repro.core.switch import P4UpdateSwitch
@@ -128,14 +129,23 @@ def build_p4update_network(
     params: Optional[SimParams] = None,
     rng: Optional[np.random.Generator] = None,
     controller_name: str = "controller",
+    obs: Optional[ObsContext] = None,
 ) -> P4UpdateDeployment:
-    """Construct switches, links and control channels for ``topo``."""
+    """Construct switches, links and control channels for ``topo``.
+
+    ``obs`` instruments the whole deployment (message counters at the
+    network, install/verification counters at every switch, scheduler
+    admit/defer counters, controller lifecycle counters).  The default
+    is the shared no-op context.
+    """
     params = params if params is not None else SimParams()
     rng = rng if rng is not None else params.rng()
+    obs = obs if obs is not None else NULL_OBS
     if topo.controller is None:
         topo.place_controller_at_centroid()
 
-    network = Network(Engine())
+    network = Network(Engine(), obs=obs)
+    obs.bind_engine(network.engine)
     forwarding_state = ForwardingState()
 
     switches: dict[str, P4UpdateSwitch] = {}
@@ -145,6 +155,8 @@ def build_p4update_network(
             rng=np.random.default_rng(rng.integers(0, 2**63)),
             forwarding_state=forwarding_state,
         )
+        switch.obs = obs
+        switch.program.scheduler.attach_obs(obs, name)
         network.add_node(switch)
         switches[name] = switch
 
@@ -163,6 +175,7 @@ def build_p4update_network(
         controller_name, topo, params=params,
         rng=np.random.default_rng(rng.integers(0, 2**63)),
     )
+    controller.obs = obs
     network.add_node(controller)
     network.set_controller(controller_name)
 

@@ -6,7 +6,9 @@ Commands regenerate individual experiments without pytest:
 * ``fig4`` — the §4.2 fast-forward CDF;
 * ``fig7 <scenario>`` — one Fig. 7 cell (a-f);
 * ``fig8`` — the control-plane preparation ratios;
-* ``demo`` — a quick single-flow update walk-through with tracing.
+* ``demo`` — a quick single-flow update walk-through with tracing;
+* ``obs`` — observability tooling: export an instrumented demo run as
+  a JSONL trace, then ``filter``/``summary`` over any exported trace.
 """
 
 from __future__ import annotations
@@ -150,6 +152,108 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def _demo_deployment(seed: int, obs):
+    """Build + run the Fig. 1 DL walk-through under ``obs``."""
+    from repro.core.messages import UpdateType
+    from repro.harness.build import build_p4update_network
+    from repro.params import SimParams
+    from repro.topo import fig1_topology
+    from repro.topo.synthetic import FIG1_NEW_PATH, FIG1_OLD_PATH
+    from repro.traffic.flows import Flow
+
+    deployment = build_p4update_network(
+        fig1_topology(), params=SimParams(seed=seed), obs=obs
+    )
+    flow = Flow.between("v0", "v7", size=1.0, old_path=list(FIG1_OLD_PATH))
+    deployment.install_flow(flow)
+    with obs.spans.span("experiment", system="p4update", topology="fig1", flows=1):
+        with obs.spans.span("uim_fanout"):
+            deployment.controller.update_flow(
+                flow.flow_id, list(FIG1_NEW_PATH), UpdateType.DUAL
+            )
+        with obs.spans.span("run_to_quiescence"):
+            deployment.run()
+    return deployment, flow
+
+
+def cmd_obs(args) -> int:
+    import json
+
+    from repro.obs import (
+        export_trace_jsonl,
+        filter_events,
+        iter_trace_jsonl,
+        make_obs,
+        summarize_events,
+    )
+
+    if args.obs_command == "export":
+        obs = make_obs(profile=args.profile)
+        deployment, flow = _demo_deployment(args.seed, obs)
+        count = export_trace_jsonl(deployment.network.trace, args.out)
+        print(f"wrote {count} events to {args.out}")
+        done = deployment.controller.update_complete(flow.flow_id)
+        print(f"update complete: {done}")
+        snapshot = obs.snapshot()
+        print("metrics:")
+        for name, series in sorted(snapshot["metrics"].items()):
+            total = sum(
+                entry.get("value", entry.get("count", 0)) for entry in series
+            )
+            print(f"  {name:<28s} series={len(series):3d} total={total:g}")
+        print("spans:")
+        for root in obs.spans.roots:
+            _print_span(root, indent=1)
+        if args.profile and obs.profiler is not None:
+            print(obs.profiler.format_report())
+        return 0
+
+    try:
+        events = list(iter_trace_jsonl(args.trace))
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 1
+    if args.obs_command == "filter":
+        selected = filter_events(
+            events, kinds=args.kind or None, nodes=args.node or None,
+            t0=args.t0, t1=args.t1,
+        )
+        if args.out == "-":
+            for event in selected:
+                from repro.obs import event_to_dict
+
+                print(json.dumps(event_to_dict(event), sort_keys=True))
+        else:
+            count = export_trace_jsonl(selected, args.out)
+            print(f"wrote {count} events to {args.out}")
+        return 0
+
+    if args.obs_command == "summary":
+        report = summarize_events(events)
+        print(f"events:  {report['events']}")
+        if report["events"]:
+            print(f"first:   {report['t_first_ms']:.3f} ms")
+            print(f"last:    {report['t_last_ms']:.3f} ms")
+            print(f"span:    {report['span_ms']:.3f} ms")
+        print("by kind:")
+        for kind, count in sorted(report["by_kind"].items()):
+            print(f"  {kind:<20s} {count}")
+        print("by node:")
+        for node, count in sorted(report["by_node"].items()):
+            print(f"  {node:<20s} {count}")
+        return 0
+
+    raise ValueError(f"unknown obs command {args.obs_command!r}")
+
+
+def _print_span(span, indent: int = 0) -> None:
+    pad = "  " * indent
+    sim = f"{span.sim_ms:.3f}" if span.sim_ms is not None else "-"
+    print(f"{pad}{span.name}: sim={sim} ms wall={span.wall_ms:.3f} ms")
+    for child in span.children:
+        _print_span(child, indent + 1)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="p4update-repro",
@@ -167,6 +271,25 @@ def main(argv=None) -> int:
     sub.add_parser("demo", help="traced Fig. 1 DL update walk-through")
     prun = sub.add_parser("run", help="execute a JSON experiment spec")
     prun.add_argument("spec", help="path to the spec file")
+    pobs = sub.add_parser("obs", help="observability: trace export / filter / summary")
+    obs_sub = pobs.add_subparsers(dest="obs_command", required=True)
+    pexp = obs_sub.add_parser(
+        "export", help="run the instrumented Fig. 1 demo and export its trace"
+    )
+    pexp.add_argument("--out", default="TRACE.jsonl", help="output JSONL path")
+    pexp.add_argument(
+        "--profile", action="store_true",
+        help="also profile wall-clock time per engine callback",
+    )
+    pfil = obs_sub.add_parser("filter", help="filter an exported JSONL trace")
+    pfil.add_argument("trace", help="path to a JSONL trace")
+    pfil.add_argument("--kind", action="append", help="keep this event kind (repeatable)")
+    pfil.add_argument("--node", action="append", help="keep this node (repeatable)")
+    pfil.add_argument("--t0", type=float, default=None, help="keep events at/after this ms")
+    pfil.add_argument("--t1", type=float, default=None, help="keep events at/before this ms")
+    pfil.add_argument("--out", default="-", help="output path, or - for stdout")
+    psum = obs_sub.add_parser("summary", help="summarize an exported JSONL trace")
+    psum.add_argument("trace", help="path to a JSONL trace")
     args = parser.parse_args(argv)
     handler = {
         "fig2": cmd_fig2,
@@ -175,9 +298,17 @@ def main(argv=None) -> int:
         "fig8": cmd_fig8,
         "demo": cmd_demo,
         "run": cmd_run,
+        "obs": cmd_obs,
     }[args.command]
     return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe (e.g. ``| head``) closed early; exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -25,6 +25,7 @@ from repro.harness.baselines_build import (
 )
 from repro.harness.build import build_p4update_network
 from repro.harness.scenarios import UpdateScenario
+from repro.obs.context import NULL_OBS, ObsContext
 from repro.params import SimParams
 from repro.sim.trace import KIND_RULE_CHANGE
 
@@ -118,16 +119,23 @@ def run_experiment(
     params: Optional[SimParams] = None,
     congestion_aware: bool = True,
     check_consistency: bool = True,
+    obs: Optional[ObsContext] = None,
 ) -> ExperimentResult:
-    """Run one scenario under one system."""
+    """Run one scenario under one system.
+
+    Pass an enabled :class:`~repro.obs.context.ObsContext` to collect
+    metrics and phase spans; the default no-op context adds no work to
+    the hot path and leaves simulated time untouched.
+    """
+    obs = obs if obs is not None else NULL_OBS
     if system in ("p4update", "p4update-sl", "p4update-dl"):
         return _run_p4update(
-            system, scenario, params, congestion_aware, check_consistency
+            system, scenario, params, congestion_aware, check_consistency, obs
         )
     if system == "ezsegway":
-        return _run_ezsegway(scenario, params, congestion_aware, check_consistency)
+        return _run_ezsegway(scenario, params, congestion_aware, check_consistency, obs)
     if system == "central":
-        return _run_central(scenario, params, congestion_aware, check_consistency)
+        return _run_central(scenario, params, congestion_aware, check_consistency, obs)
     raise ValueError(f"unknown system {system!r}")
 
 
@@ -145,9 +153,10 @@ def _run_p4update(
     params: Optional[SimParams],
     congestion_aware: bool,
     check_consistency: bool,
+    obs: ObsContext = NULL_OBS,
 ) -> ExperimentResult:
     params = params if params is not None else SimParams()
-    dep = build_p4update_network(scenario.topology, params=params)
+    dep = build_p4update_network(scenario.topology, params=params, obs=obs)
     dep.set_congestion_aware(congestion_aware)
     checker = (
         LiveChecker(dep.forwarding_state, dep.network.trace)
@@ -157,22 +166,30 @@ def _run_p4update(
         dep.install_flow(flow)
 
     update_type = _update_type_for(system)
-    started = time.perf_counter()
-    prepared = [
-        dep.controller.prepare_update(
-            flow.flow_id, list(flow.new_path or []), update_type,
-            congestion_aware=congestion_aware,
-        )
-        for flow in scenario.flows
-    ]
-    prep_time = time.perf_counter() - started
-    for update in prepared:
-        dep.controller.push_update(update)
-    dep.run()
+    with obs.spans.span(
+        "experiment", system=system, topology=scenario.topology.name,
+        flows=len(scenario.flows),
+    ):
+        started = time.perf_counter()
+        with obs.spans.span("preparation"):
+            prepared = [
+                dep.controller.prepare_update(
+                    flow.flow_id, list(flow.new_path or []), update_type,
+                    congestion_aware=congestion_aware,
+                )
+                for flow in scenario.flows
+            ]
+        prep_time = time.perf_counter() - started
+        with obs.spans.span("uim_fanout"):
+            for update in prepared:
+                dep.controller.push_update(update)
+        with obs.spans.span("run_to_quiescence"):
+            dep.run()
 
-    completed = dep.controller.all_updates_complete()
-    per_flow = _uniform_completion_times(dep.network, scenario, params)
-    durations = list(per_flow.values())
+        with obs.spans.span("analysis"):
+            completed = dep.controller.all_updates_complete()
+            per_flow = _uniform_completion_times(dep.network, scenario, params)
+            durations = list(per_flow.values())
     return ExperimentResult(
         system=system,
         completed=completed,
@@ -190,9 +207,10 @@ def _run_ezsegway(
     params: Optional[SimParams],
     congestion_aware: bool,
     check_consistency: bool,
+    obs: ObsContext = NULL_OBS,
 ) -> ExperimentResult:
     params = params if params is not None else SimParams()
-    dep = build_ezsegway_network(scenario.topology, params=params)
+    dep = build_ezsegway_network(scenario.topology, params=params, obs=obs)
     dep.set_congestion_aware(congestion_aware)
     checker = (
         LiveChecker(dep.forwarding_state, dep.network.trace)
@@ -204,26 +222,38 @@ def _run_ezsegway(
     # Control-plane preparation: segmentation happens inside
     # update_flow; the congestion dependency graph is the extra
     # centralized cost (Fig. 8b).
-    started = time.perf_counter()
-    move_ranks = None
-    if congestion_aware:
-        capacities = {
-            frozenset((e.a, e.b)): e.capacity for e in scenario.topology.edges
-        }
-        move_ranks = congestion_dependency_graph(scenario.flows, capacities)
-        _install_expected_ranks(dep, scenario, move_ranks)
-    prep_time = time.perf_counter() - started
+    with obs.spans.span(
+        "experiment", system="ezsegway", topology=scenario.topology.name,
+        flows=len(scenario.flows),
+    ):
+        started = time.perf_counter()
+        with obs.spans.span("preparation"):
+            move_ranks = None
+            if congestion_aware:
+                with obs.spans.span("dependency_computation"):
+                    capacities = {
+                        frozenset((e.a, e.b)): e.capacity
+                        for e in scenario.topology.edges
+                    }
+                    move_ranks = congestion_dependency_graph(
+                        scenario.flows, capacities
+                    )
+                _install_expected_ranks(dep, scenario, move_ranks)
+        prep_time = time.perf_counter() - started
 
-    update_ids = {}
-    for flow in scenario.flows:
-        update_ids[flow.flow_id] = dep.controller.update_flow(
-            flow.flow_id, list(flow.new_path or []), move_ranks
-        )
-    dep.run()
+        with obs.spans.span("uim_fanout"):
+            update_ids = {}
+            for flow in scenario.flows:
+                update_ids[flow.flow_id] = dep.controller.update_flow(
+                    flow.flow_id, list(flow.new_path or []), move_ranks
+                )
+        with obs.spans.span("run_to_quiescence"):
+            dep.run()
 
-    completed = dep.controller.all_updates_complete()
-    per_flow = _uniform_completion_times(dep.network, scenario, params)
-    durations = list(per_flow.values())
+        with obs.spans.span("analysis"):
+            completed = dep.controller.all_updates_complete()
+            per_flow = _uniform_completion_times(dep.network, scenario, params)
+            durations = list(per_flow.values())
     return ExperimentResult(
         system="ezsegway",
         completed=completed,
@@ -250,10 +280,12 @@ def _run_central(
     params: Optional[SimParams],
     congestion_aware: bool,
     check_consistency: bool,
+    obs: ObsContext = NULL_OBS,
 ) -> ExperimentResult:
     params = params if params is not None else SimParams()
     dep = build_central_network(
-        scenario.topology, params=params, congestion_aware=congestion_aware
+        scenario.topology, params=params, congestion_aware=congestion_aware,
+        obs=obs,
     )
     checker = (
         LiveChecker(dep.forwarding_state, dep.network.trace)
@@ -261,15 +293,22 @@ def _run_central(
     )
     for flow in scenario.flows:
         dep.install_flow(flow)
-    started = time.perf_counter()
-    for flow in scenario.flows:
-        dep.controller.update_flow(flow.flow_id, list(flow.new_path or []))
-    prep_time = time.perf_counter() - started
-    dep.run()
+    with obs.spans.span(
+        "experiment", system="central", topology=scenario.topology.name,
+        flows=len(scenario.flows),
+    ):
+        started = time.perf_counter()
+        with obs.spans.span("preparation"):
+            for flow in scenario.flows:
+                dep.controller.update_flow(flow.flow_id, list(flow.new_path or []))
+        prep_time = time.perf_counter() - started
+        with obs.spans.span("run_to_quiescence"):
+            dep.run()
 
-    completed = dep.controller.all_updates_complete()
-    per_flow = _uniform_completion_times(dep.network, scenario, params)
-    durations = list(per_flow.values())
+        with obs.spans.span("analysis"):
+            completed = dep.controller.all_updates_complete()
+            per_flow = _uniform_completion_times(dep.network, scenario, params)
+            durations = list(per_flow.values())
     return ExperimentResult(
         system="central",
         completed=completed,

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+
+
+def _require_finite(samples: Sequence[float], what: str) -> np.ndarray:
+    """Convert to a float array, rejecting NaN/inf explicitly.
+
+    Non-finite values would silently poison every derived statistic
+    (``np.mean`` propagates NaN, percentile ordering with inf is
+    misleading), so they are an error at the door.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size and not np.all(np.isfinite(arr)):
+        bad = int(np.count_nonzero(~np.isfinite(arr)))
+        raise ValueError(f"{what} contains {bad} non-finite value(s) (NaN or inf)")
+    return arr
 
 
 def cdf_points(samples: Sequence[float]) -> list[tuple[float, float]]:
@@ -23,8 +38,12 @@ def improvement(baseline: Sequence[float], candidate: Sequence[float]) -> float:
     Positive = candidate is faster (smaller values).  Matches the
     paper's "-28.6 %" style of reporting.
     """
-    base = float(np.mean(baseline))
-    cand = float(np.mean(candidate))
+    base_arr = _require_finite(baseline, "baseline")
+    cand_arr = _require_finite(candidate, "candidate")
+    if base_arr.size == 0 or cand_arr.size == 0:
+        raise ValueError("improvement needs non-empty baseline and candidate")
+    base = float(base_arr.mean())
+    cand = float(cand_arr.mean())
     if base == 0:
         raise ValueError("baseline mean is zero")
     return (base - cand) / base * 100.0
@@ -41,25 +60,34 @@ class Summary:
     minimum: float
     maximum: float
     n: int
+    p50: float = math.nan
+    p99: float = math.nan
+    std: float = math.nan
 
     def row(self, label: str) -> str:
         return (
             f"{label:<28s} n={self.n:3d}  mean={self.mean:9.2f}  "
             f"median={self.median:9.2f}  p10={self.p10:9.2f}  "
-            f"p90={self.p90:9.2f}  min={self.minimum:9.2f}  max={self.maximum:9.2f}"
+            f"p90={self.p90:9.2f}  p99={self.p99:9.2f}  "
+            f"std={self.std:9.2f}  "
+            f"min={self.minimum:9.2f}  max={self.maximum:9.2f}"
         )
 
 
 def summarize(samples: Sequence[float]) -> Summary:
-    if not samples:
+    if not len(samples):
         raise ValueError("no samples")
-    arr = np.asarray(samples, dtype=float)
+    arr = _require_finite(samples, "samples")
+    median = float(np.median(arr))
     return Summary(
         mean=float(arr.mean()),
-        median=float(np.median(arr)),
+        median=median,
         p10=float(np.percentile(arr, 10)),
         p90=float(np.percentile(arr, 90)),
         minimum=float(arr.min()),
         maximum=float(arr.max()),
         n=len(arr),
+        p50=median,
+        p99=float(np.percentile(arr, 99)),
+        std=float(arr.std(ddof=0)),
     )

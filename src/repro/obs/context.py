@@ -1,0 +1,82 @@
+"""The observability context: one handle carrying metrics + spans
+(+ optionally an engine profiler) through every layer.
+
+Design contract:
+
+* every node/network/scheduler holds an ``obs`` reference, defaulting
+  to the module-level :data:`NULL_OBS` singleton;
+* instrumented hot paths guard with ``if self.obs.enabled:`` so the
+  disabled mode costs one attribute read per site and allocates
+  nothing (the no-op registry returns shared singleton instruments);
+* observability NEVER touches simulated time or the RNG streams — a
+  run with obs on and obs off produces the bit-identical simulated
+  trace (asserted by ``tests/obs/test_determinism_obs.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.profiler import EngineProfiler
+from repro.obs.registry import MetricsRegistry, NullRegistry
+from repro.obs.spans import NullSpanTracker, SpanTracker
+
+
+class ObsContext:
+    """Bundle of a metrics registry, a span tracker and an optional
+    engine profiler, shared by every layer of one run."""
+
+    __slots__ = ("metrics", "spans", "profiler")
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        spans: SpanTracker,
+        profiler: Optional[EngineProfiler] = None,
+    ) -> None:
+        self.metrics = metrics
+        self.spans = spans
+        self.profiler = profiler
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics.enabled
+
+    def bind_engine(self, engine) -> None:
+        """Point the span tracker's simulated clock at ``engine`` and
+        install the profiler (if any).  No-op when disabled."""
+        if not self.enabled:
+            return
+        self.spans.sim_clock = lambda: engine.now
+        if self.profiler is not None:
+            engine.set_profiler(self.profiler)
+
+    def count(self, name: str, amount: float = 1.0, **labels) -> None:
+        """Convenience: increment a labeled counter (guarded)."""
+        if self.metrics.enabled:
+            self.metrics.counter(name, **labels).inc(amount)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Convenience: record a labeled histogram sample (guarded)."""
+        if self.metrics.enabled:
+            self.metrics.histogram(name, **labels).observe(value)
+
+    def snapshot(self) -> dict:
+        """Everything this context captured, JSON-safe."""
+        out = {"metrics": self.metrics.snapshot(), "spans": self.spans.tree()}
+        if self.profiler is not None:
+            out["profile"] = self.profiler.report(top=25)
+        return out
+
+
+def make_obs(profile: bool = False) -> ObsContext:
+    """A fresh enabled context (optionally with engine profiling)."""
+    return ObsContext(
+        MetricsRegistry(),
+        SpanTracker(),
+        EngineProfiler() if profile else None,
+    )
+
+
+#: Shared disabled context — the default ``obs`` everywhere.
+NULL_OBS = ObsContext(NullRegistry(), NullSpanTracker())

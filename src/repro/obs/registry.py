@@ -1,0 +1,268 @@
+"""Labeled metrics: counters, gauges and streaming histograms.
+
+A :class:`MetricsRegistry` hands out instruments keyed by metric name
+plus a frozen label set (``registry.counter("messages_sent",
+node="v3", type="UIM")``).  Instruments are cheap mutable cells; the
+registry's :meth:`~MetricsRegistry.snapshot` renders everything into a
+plain JSON-safe dict for manifests and the CLI.
+
+Histograms are *streaming*: they keep geometric buckets (≈9 % wide)
+plus exact count/sum/min/max, so p50/p90/p99 estimates never require
+storing the samples.  The estimation error is bounded by the bucket
+width.
+
+The :class:`NullRegistry` is the default everywhere: every instrument
+request returns a shared no-op singleton, so instrumented code paths
+cost one attribute check (``obs.enabled``) or an empty method call
+when observability is off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+# Geometric bucket growth: 2**(1/8) per bucket ≈ 9.05 % relative
+# width, i.e. quantile estimates are within ~4.5 % of the true value.
+_BUCKET_BASE = 2.0 ** 0.125
+_LOG_BASE = math.log(_BUCKET_BASE)
+
+LabelKey = frozenset
+
+
+def _label_key(labels: dict) -> frozenset:
+    return frozenset(labels.items())
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Point-in-time value (queue depth, reserved capacity, ...)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Streaming distribution with geometric buckets.
+
+    ``observe`` is O(1); ``quantile`` walks the (sparse) bucket table.
+    Non-positive samples land in a dedicated zero bucket (the paper's
+    measured quantities — delays, depths, sizes — are non-negative).
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_zero", "_buckets")
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._zero = 0                       # samples <= 0
+        self._buckets: dict[int, int] = {}   # bucket index -> count
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError(f"non-finite histogram sample: {value}")
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        if value <= 0.0:
+            self._zero += 1
+            return
+        idx = math.floor(math.log(value) / _LOG_BASE)
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (q in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = q * (self.count - 1)
+        cumulative = self._zero
+        if rank < cumulative:
+            return max(self.minimum, 0.0) if self._zero else 0.0
+        for idx in sorted(self._buckets):
+            cumulative += self._buckets[idx]
+            if rank < cumulative:
+                # Geometric bucket midpoint, clamped to observed range.
+                mid = _BUCKET_BASE ** (idx + 0.5)
+                return min(max(mid, self.minimum), self.maximum)
+        return self.maximum
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def snapshot(self) -> dict:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of labeled instruments."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        # (name, label_key) -> instrument
+        self._instruments: dict[tuple[str, frozenset], object] = {}
+        # name -> labels dict per label_key, for snapshots.
+        self._labels: dict[tuple[str, frozenset], dict] = {}
+
+    def _get(self, factory, name: str, labels: dict):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+            self._labels[key] = dict(labels)
+        elif not isinstance(instrument, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[tuple[str, dict, object]]:
+        for (name, key), instrument in self._instruments.items():
+            yield name, self._labels[(name, key)], instrument
+
+    def value(self, name: str, **labels) -> Optional[float]:
+        """Counter/gauge value for exact name+labels, or None."""
+        instrument = self._instruments.get((name, _label_key(labels)))
+        return getattr(instrument, "value", None)
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge metric across all label sets."""
+        return sum(
+            instrument.value
+            for (metric, _), instrument in self._instruments.items()
+            if metric == name and hasattr(instrument, "value")
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump: name -> list of {labels, type, ...fields}."""
+        out: dict[str, list] = {}
+        for name, labels, instrument in sorted(
+            self, key=lambda row: (row[0], sorted(row[1].items()))
+        ):
+            row = {"labels": labels, "type": instrument.kind}
+            row.update(instrument.snapshot())
+            out.setdefault(name, []).append(row)
+        return out
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op registry: shared singletons, no state, no allocation."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return _NULL_HISTOGRAM

@@ -112,8 +112,17 @@ class P4Switch(Node):
 
         if result.resubmit:
             self.resubmissions += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("resubmissions", node=self.name).inc()
             if resubmit_count >= self.params.max_resubmits:
                 self.packets_dropped += 1
+                if self.obs.enabled:
+                    self.obs.metrics.histogram(
+                        "resubmit_wait_depth", node=self.name,
+                    ).observe(resubmit_count)
+                    self.obs.metrics.counter(
+                        "resubmit_budget_exhausted", node=self.name,
+                    ).inc()
                 return
             self.engine.schedule(
                 self.params.resubmit_interval_ms,
@@ -123,6 +132,12 @@ class P4Switch(Node):
                 resubmit_count + 1,
             )
             return
+
+        # The packet left the wait loop: record how deep it went.
+        if resubmit_count and self.obs.enabled:
+            self.obs.metrics.histogram(
+                "resubmit_wait_depth", node=self.name,
+            ).observe(resubmit_count)
 
         if result.dropped or result.egress_port is None:
             self.packets_dropped += 1

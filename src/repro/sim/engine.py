@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable, Optional
 
 
@@ -53,6 +54,9 @@ class Engine:
         self._now = 0.0
         self._running = False
         self._processed = 0
+        # Opt-in wall-clock attribution (repro.obs.profiler).  None by
+        # default: the dispatch loop pays one `is None` check per event.
+        self._profiler = None
 
     @property
     def now(self) -> float:
@@ -63,6 +67,19 @@ class Engine:
     def processed_events(self) -> int:
         """Number of events executed so far (for diagnostics)."""
         return self._processed
+
+    @property
+    def profiler(self):
+        return self._profiler
+
+    def set_profiler(self, profiler) -> None:
+        """Install (or, with None, remove) a callback profiler.
+
+        The profiler's ``record(callback, elapsed_seconds)`` is invoked
+        after every executed event.  Profiling observes wall clock
+        only — simulated time and event order are unaffected.
+        """
+        self._profiler = profiler
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` ms from now.
@@ -98,7 +115,14 @@ class Engine:
                 continue
             self._now = event.time
             self._processed += 1
-            event.callback(*event.args)
+            if self._profiler is None:
+                event.callback(*event.args)
+            else:
+                started = time.perf_counter()
+                event.callback(*event.args)
+                self._profiler.record(
+                    event.callback, time.perf_counter() - started
+                )
             return True
         return False
 

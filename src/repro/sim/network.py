@@ -18,6 +18,7 @@ from __future__ import annotations
 import copy
 from typing import Any, Optional
 
+from repro.obs.context import NULL_OBS, ObsContext
 from repro.sim.engine import Engine
 from repro.sim.faults import FaultAction, FaultDecision
 from repro.sim.links import ControlChannel, Link
@@ -33,9 +34,15 @@ from repro.sim.trace import (
 class Network:
     """Container wiring nodes together and delivering messages."""
 
-    def __init__(self, engine: Optional[Engine] = None, trace: Optional[Trace] = None) -> None:
+    def __init__(
+        self,
+        engine: Optional[Engine] = None,
+        trace: Optional[Trace] = None,
+        obs: Optional[ObsContext] = None,
+    ) -> None:
         self.engine = engine if engine is not None else Engine()
         self.trace = trace if trace is not None else Trace()
+        self.obs = obs if obs is not None else NULL_OBS
         self.nodes: dict[str, Node] = {}
         self.links: list[Link] = []
         # (node, port) -> Link
@@ -123,12 +130,22 @@ class Network:
             self.engine.now, KIND_MSG_SEND, sender,
             dest=dest, port=port, message=describe(message),
         )
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "messages_sent", node=sender, plane="data",
+                type=message_type(message),
+            ).inc()
         decision = self._fault_decision(self.fault_model, message)
         if decision.action is FaultAction.DROP:
             self.trace.record(
                 self.engine.now, KIND_MSG_DROP, sender,
                 dest=dest, message=describe(message),
             )
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "messages_dropped", node=sender, plane="data",
+                    type=message_type(message),
+                ).inc()
             return
         delay = link.latency_ms + decision.extra_delay_ms
         payload = message
@@ -146,6 +163,11 @@ class Network:
             self.engine.now, KIND_MSG_RECV, dest,
             port=dest_port, message=describe(message),
         )
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "messages_received", node=dest, plane="data",
+                type=message_type(message),
+            ).inc()
         node.handle_message(message, dest_port)
 
     # -- control-plane delivery ---------------------------------------------------
@@ -161,10 +183,20 @@ class Network:
         if self.controller_name is None:
             raise RuntimeError("no controller registered")
         decision = self._fault_decision(self.control_fault_model, message)
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "messages_sent", node=sender, plane="control",
+                type=message_type(message),
+            ).inc()
         if decision.action is FaultAction.DROP:
             self.trace.record(
                 self.engine.now, KIND_MSG_DROP, sender, message=describe(message),
             )
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "messages_dropped", node=sender, plane="control",
+                    type=message_type(message),
+                ).inc()
             return
         payload = message
         if decision.action is FaultAction.CORRUPT and decision.mutate is not None:
@@ -222,6 +254,10 @@ class Network:
         start = max(self.engine.now, self.controller_service_busy_until) + backlog
         finish = start + service_time
         self.controller_service_busy_until = finish
+        if self.obs.enabled:
+            self.obs.metrics.histogram(
+                "controller_service_wait_ms", node=self.controller_name,
+            ).observe(start - self.engine.now)
         self.engine.schedule(
             finish - self.engine.now, self._deliver_control,
             self.controller_name, message, sender,
@@ -235,6 +271,11 @@ class Network:
             self.engine.now, KIND_MSG_RECV, dest,
             sender=sender, message=describe(message),
         )
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "messages_received", node=dest, plane="control",
+                type=message_type(message),
+            ).inc()
         node.handle_control(message, sender)
 
     # -- faults -------------------------------------------------------------------
@@ -250,4 +291,20 @@ def describe(message: Any) -> str:
     describe_fn = getattr(message, "describe", None)
     if callable(describe_fn):
         return describe_fn()
+    return type(message).__name__
+
+
+def message_type(message: Any) -> str:
+    """Coarse message class for metric labels.
+
+    Data-plane messages are all ``Packet`` instances; the interesting
+    distinction is which header they carry (UNM, probe, cleanup).
+    Control-plane messages keep their class name (UIM, UFM, ...).
+    """
+    has_valid = getattr(message, "has_valid", None)
+    if callable(has_valid):
+        for header in ("unm", "probe", "cleanup"):
+            if has_valid(header):
+                return header
+        return "packet"
     return type(message).__name__

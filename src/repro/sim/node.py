@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Optional
 
+from repro.obs.context import NULL_OBS
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.network import Network
 
@@ -14,11 +16,16 @@ class Node:
     Subclasses override :meth:`handle_message` (data-plane packets
     arriving on a port) and :meth:`handle_control` (control-channel
     messages from/to the controller).
+
+    Every node carries an observability context (``self.obs``),
+    defaulting to the shared no-op; builders swap in a live one when a
+    run is instrumented.
     """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.network: Optional["Network"] = None
+        self.obs = NULL_OBS
 
     # -- lifecycle -----------------------------------------------------
 

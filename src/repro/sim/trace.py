@@ -42,14 +42,22 @@ KIND_SCHED = "sched"                    # congestion scheduler decision
 
 
 class Trace:
-    """Append-only event log."""
+    """Append-only event log with a per-kind index.
+
+    ``of_kind``/``last`` answer from the index instead of scanning the
+    whole log — benches replay traces repeatedly, so those lookups are
+    on the measurement path.
+    """
 
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
         self._subscribers: list[Callable[[TraceEvent], None]] = []
+        # kind -> positions into self.events, each list ascending.
+        self._by_kind: dict[str, list[int]] = {}
 
     def record(self, time: float, kind: str, node: str, **detail: Any) -> TraceEvent:
         event = TraceEvent(time=time, kind=kind, node=node, detail=detail)
+        self._by_kind.setdefault(kind, []).append(len(self.events))
         self.events.append(event)
         for subscriber in self._subscribers:
             subscriber(event)
@@ -59,9 +67,31 @@ class Trace:
         """Invoke ``callback`` for every future event (live checking)."""
         self._subscribers.append(callback)
 
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> bool:
+        """Stop notifying ``callback``; True when it was subscribed.
+
+        Removes one registration per call (mirroring ``subscribe``);
+        unknown callbacks are ignored rather than raising, so teardown
+        paths can unsubscribe unconditionally.
+        """
+        try:
+            self._subscribers.remove(callback)
+            return True
+        except ValueError:
+            return False
+
     def of_kind(self, *kinds: str) -> list[TraceEvent]:
-        wanted = set(kinds)
-        return [e for e in self.events if e.kind in wanted]
+        if len(kinds) == 1:
+            positions = self._by_kind.get(kinds[0], ())
+        else:
+            merged: list[int] = []
+            for kind in set(kinds):
+                merged.extend(self._by_kind.get(kind, ()))
+            positions = sorted(merged)
+        return [self.events[i] for i in positions]
+
+    def count_of_kind(self, kind: str) -> int:
+        return len(self._by_kind.get(kind, ()))
 
     def at_node(self, node: str) -> list[TraceEvent]:
         return [e for e in self.events if e.node == node]
@@ -70,10 +100,10 @@ class Trace:
         return [e for e in self.events if start <= e.time <= end]
 
     def last(self, kind: str) -> Optional[TraceEvent]:
-        for event in reversed(self.events):
-            if event.kind == kind:
-                return event
-        return None
+        positions = self._by_kind.get(kind)
+        if not positions:
+            return None
+        return self.events[positions[-1]]
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)

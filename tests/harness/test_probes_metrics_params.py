@@ -45,6 +45,34 @@ def test_summarize_empty_rejected():
         summarize([])
 
 
+def test_summarize_extended_percentiles_and_std():
+    samples = [float(i) for i in range(1, 101)]
+    summary = summarize(samples)
+    assert summary.p50 == summary.median
+    assert summary.p50 == pytest.approx(np.percentile(samples, 50))
+    assert summary.p99 == pytest.approx(np.percentile(samples, 99))
+    assert summary.std == pytest.approx(np.std(samples))
+    assert "p99=" in summary.row("x") and "std=" in summary.row("x")
+
+
+def test_summarize_rejects_non_finite():
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError, match="non-finite"):
+            summarize([1.0, bad, 3.0])
+
+
+def test_improvement_rejects_non_finite():
+    with pytest.raises(ValueError, match="baseline"):
+        improvement([float("nan")], [1.0])
+    with pytest.raises(ValueError, match="candidate"):
+        improvement([1.0], [float("inf")])
+
+
+def test_improvement_rejects_empty():
+    with pytest.raises(ValueError):
+        improvement([], [1.0])
+
+
 # -- probes helpers ---------------------------------------------------------------
 
 def test_duplicate_receives_counts_repeats():

@@ -1,0 +1,101 @@
+"""BENCH manifest build/validate/merge semantics."""
+
+import json
+
+import pytest
+
+from repro.obs.context import make_obs
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    load_manifest,
+    manifest_path,
+    validate_manifest,
+    write_manifest,
+)
+
+
+def test_build_manifest_is_schema_valid():
+    doc = build_manifest("demo", params={"runs": 3}, results={"x": 1.0}, seed=7)
+    assert doc["schema"] == MANIFEST_SCHEMA
+    assert doc["name"] == "demo"
+    assert doc["params"] == {"runs": 3}
+    assert doc["seed"] == 7
+    assert doc["metrics"] == {} and doc["spans"] == []
+    validate_manifest(doc)
+
+
+def test_build_manifest_captures_obs():
+    obs = make_obs()
+    obs.metrics.counter("messages_sent", node="v1").inc(3)
+    with obs.spans.span("experiment"):
+        pass
+    doc = build_manifest("demo", obs=obs)
+    assert doc["metrics"]["messages_sent"][0]["value"] == 3
+    assert doc["spans"][0]["name"] == "experiment"
+
+
+def test_validate_lists_every_problem():
+    with pytest.raises(ValueError) as err:
+        validate_manifest({"schema": 99, "name": ""})
+    message = str(err.value)
+    assert "unsupported schema version 99" in message
+    assert "empty manifest name" in message
+    assert "missing field 'results'" in message
+
+
+def test_validate_rejects_non_dict():
+    with pytest.raises(ValueError):
+        validate_manifest([1, 2, 3])
+
+
+def test_manifest_path_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+    assert manifest_path("abc") == str(tmp_path / "BENCH_abc.json")
+
+
+def test_write_load_round_trip(tmp_path):
+    path = write_manifest(
+        "demo", params={"runs": 2}, results={"speedup": 4.0},
+        seed=0, out_dir=str(tmp_path),
+    )
+    doc = load_manifest(path)
+    assert doc["results"] == {"speedup": 4.0}
+    # The file is plain JSON.
+    with open(path) as handle:
+        assert json.load(handle)["name"] == "demo"
+
+
+def test_merge_accumulates_results_and_keeps_obs(tmp_path):
+    obs = make_obs()
+    obs.metrics.counter("c").inc()
+    with obs.spans.span("s"):
+        pass
+    write_manifest(
+        "merged", params={"a": 1}, results={"cell_a": 1.0},
+        out_dir=str(tmp_path), obs=obs,
+    )
+    # Second test of the same bench module: results-only emission must
+    # keep the earlier metric/span capture.
+    path = write_manifest(
+        "merged", params={"b": 2}, results={"cell_b": 2.0},
+        out_dir=str(tmp_path),
+    )
+    doc = load_manifest(path)
+    assert doc["params"] == {"a": 1, "b": 2}
+    assert doc["results"] == {"cell_a": 1.0, "cell_b": 2.0}
+    assert doc["metrics"]["c"][0]["value"] == 1
+    assert doc["spans"][0]["name"] == "s"
+
+
+def test_merge_overwrites_same_key(tmp_path):
+    write_manifest("m2", results={"x": 1.0}, out_dir=str(tmp_path))
+    path = write_manifest("m2", results={"x": 9.0}, out_dir=str(tmp_path))
+    assert load_manifest(path)["results"] == {"x": 9.0}
+
+
+def test_corrupt_existing_manifest_is_replaced(tmp_path):
+    target = tmp_path / "BENCH_m3.json"
+    target.write_text("not json at all")
+    path = write_manifest("m3", results={"ok": 1}, out_dir=str(tmp_path))
+    assert load_manifest(path)["results"] == {"ok": 1}

@@ -1,0 +1,144 @@
+"""Counter/gauge/histogram math and the labeled registry."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+def test_counter_inc_and_labels():
+    reg = MetricsRegistry()
+    reg.counter("messages_sent", node="v1", type="UIM").inc()
+    reg.counter("messages_sent", node="v1", type="UIM").inc(2)
+    reg.counter("messages_sent", node="v2", type="UIM").inc()
+    assert reg.value("messages_sent", node="v1", type="UIM") == 3
+    assert reg.value("messages_sent", node="v2", type="UIM") == 1
+    assert reg.total("messages_sent") == 4
+
+
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("x").inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    gauge = reg.gauge("queue_depth", node="c")
+    gauge.set(5)
+    gauge.inc()
+    gauge.dec(2)
+    assert gauge.value == 4
+
+
+def test_same_labels_same_instrument():
+    reg = MetricsRegistry()
+    a = reg.counter("n", k="v")
+    b = reg.counter("n", k="v")
+    assert a is b
+    c = reg.counter("n", k="other")
+    assert c is not a
+
+
+def test_name_collision_across_types():
+    reg = MetricsRegistry()
+    reg.counter("m")
+    with pytest.raises(TypeError):
+        reg.gauge("m")
+
+
+def test_histogram_count_sum_min_max():
+    hist = Histogram()
+    for value in (1.0, 2.0, 3.0, 4.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.total == pytest.approx(10.0)
+    assert hist.minimum == 1.0
+    assert hist.maximum == 4.0
+    assert hist.mean == pytest.approx(2.5)
+
+
+def test_histogram_rejects_non_finite():
+    hist = Histogram()
+    for bad in (math.nan, math.inf, -math.inf):
+        with pytest.raises(ValueError):
+            hist.observe(bad)
+
+
+def test_histogram_quantiles_bounded_error():
+    # Geometric buckets with 2^(1/8) growth: any quantile estimate is
+    # within ~9% of the true value (one bucket width).
+    hist = Histogram()
+    samples = [float(i) for i in range(1, 1001)]
+    for value in samples:
+        hist.observe(value)
+    for q, true in ((0.5, 500.0), (0.9, 900.0), (0.99, 990.0)):
+        estimate = hist.quantile(q)
+        assert abs(estimate - true) / true < 0.10, (q, estimate, true)
+    assert hist.p50 == hist.quantile(0.5)
+    assert hist.p90 == hist.quantile(0.9)
+    assert hist.p99 == hist.quantile(0.99)
+
+
+def test_histogram_quantile_clamps_to_observed_range():
+    hist = Histogram()
+    hist.observe(7.0)
+    assert hist.quantile(0.0) == 7.0
+    assert hist.quantile(1.0) == 7.0
+
+
+def test_histogram_zero_and_negative_values():
+    hist = Histogram()
+    hist.observe(0.0)
+    hist.observe(0.0)
+    hist.observe(10.0)
+    assert hist.count == 3
+    assert hist.quantile(0.5) == 0.0
+    assert hist.minimum == 0.0
+    # Non-positive samples share the dedicated zero bucket.
+    hist.observe(-1.0)
+    assert hist.count == 4
+    assert hist.minimum == -1.0
+
+
+def test_empty_histogram_quantile():
+    hist = Histogram()
+    assert math.isnan(hist.quantile(0.5))
+
+
+def test_snapshot_shape():
+    reg = MetricsRegistry()
+    reg.counter("sent", node="a").inc(2)
+    reg.gauge("depth", node="a").set(1)
+    reg.histogram("wait_ms", node="a").observe(4.0)
+    snap = reg.snapshot()
+    assert set(snap) == {"sent", "depth", "wait_ms"}
+    (sent,) = snap["sent"]
+    assert sent["labels"] == {"node": "a"}
+    assert sent["type"] == "counter"
+    assert sent["value"] == 2
+    (wait,) = snap["wait_ms"]
+    assert wait["type"] == "histogram"
+    assert wait["count"] == 1
+    assert wait["p50"] == pytest.approx(4.0, rel=0.1)
+
+
+def test_null_registry_is_inert():
+    reg = NullRegistry()
+    assert not reg.enabled
+    counter = reg.counter("anything", a="b")
+    counter.inc()
+    counter.inc(100)
+    gauge = reg.gauge("g")
+    gauge.set(5)
+    gauge.inc()
+    hist = reg.histogram("h")
+    hist.observe(3.0)
+    assert reg.snapshot() == {}
+    # All no-op instruments are shared singletons: no allocation per call.
+    assert reg.counter("x") is reg.counter("y", any_label=1)

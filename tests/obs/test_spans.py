@@ -1,0 +1,110 @@
+"""Span nesting, dual clocks and tree export."""
+
+from repro.obs.spans import NullSpanTracker, SpanTracker
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.t = start
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def test_nesting_builds_a_tree():
+    tracker = SpanTracker()
+    with tracker.span("experiment"):
+        with tracker.span("preparation"):
+            pass
+        with tracker.span("run_to_quiescence"):
+            with tracker.span("inner"):
+                pass
+    assert len(tracker.roots) == 1
+    root = tracker.roots[0]
+    assert root.name == "experiment"
+    assert [c.name for c in root.children] == ["preparation", "run_to_quiescence"]
+    assert [c.name for c in root.children[1].children] == ["inner"]
+
+
+def test_sibling_spans_are_not_nested():
+    tracker = SpanTracker()
+    with tracker.span("a"):
+        pass
+    with tracker.span("b"):
+        pass
+    assert [r.name for r in tracker.roots] == ["a", "b"]
+    assert not tracker.roots[0].children
+
+
+def test_dual_clock_durations():
+    wall = FakeClock(100.0)
+    sim = FakeClock(0.0)
+    tracker = SpanTracker(sim_clock=sim, wall_clock=wall)
+    with tracker.span("phase") as span:
+        wall.advance(0.25)          # perf_counter seconds
+        sim.advance(42.0)           # simulated ms
+    assert span.wall_ms == 250.0
+    assert span.sim_ms == 42.0
+    assert span.sim_start == 0.0 and span.sim_end == 42.0
+
+
+def test_no_sim_clock_means_none():
+    tracker = SpanTracker()
+    with tracker.span("wall_only") as span:
+        pass
+    assert span.sim_ms is None
+    assert span.wall_ms is not None and span.wall_ms >= 0.0
+
+
+def test_attrs_and_to_dict():
+    wall = FakeClock()
+    sim = FakeClock()
+    tracker = SpanTracker(sim_clock=sim, wall_clock=wall)
+    with tracker.span("experiment", system="p4update", flows=3):
+        wall.advance(0.001)
+        sim.advance(5.0)
+        with tracker.span("child"):
+            sim.advance(1.0)
+    (doc,) = tracker.tree()
+    assert doc["name"] == "experiment"
+    assert doc["attrs"] == {"system": "p4update", "flows": 3}
+    assert doc["sim_ms"] == 6.0
+    assert [c["name"] for c in doc["children"]] == ["child"]
+    assert doc["children"][0]["sim_ms"] == 1.0
+
+
+def test_current_tracks_the_stack():
+    tracker = SpanTracker()
+    assert tracker.current is None
+    with tracker.span("outer"):
+        assert tracker.current.name == "outer"
+        with tracker.span("inner"):
+            assert tracker.current.name == "inner"
+        assert tracker.current.name == "outer"
+    assert tracker.current is None
+
+
+def test_exception_still_closes_span():
+    tracker = SpanTracker()
+    try:
+        with tracker.span("doomed"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert tracker.roots[0].wall_end is not None
+    assert tracker.current is None
+
+
+def test_null_tracker_records_nothing():
+    tracker = NullSpanTracker()
+    assert not tracker.enabled
+    with tracker.span("x", a=1):
+        with tracker.span("y"):
+            pass
+    assert tracker.roots == []
+    assert tracker.tree() == []
+    # Shared singleton context manager: no allocation per span.
+    assert tracker.span("a") is tracker.span("b")

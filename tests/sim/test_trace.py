@@ -57,6 +57,49 @@ def test_subscribe_receives_future_events():
     assert len(seen) == 1 and seen[0].kind == "x"
 
 
+def test_unsubscribe_stops_notifications():
+    trace = Trace()
+    seen = []
+    trace.subscribe(seen.append)
+    trace.record(1.0, "x", "n")
+    assert trace.unsubscribe(seen.append) is True
+    trace.record(2.0, "x", "n")
+    assert len(seen) == 1
+
+
+def test_unsubscribe_unknown_callback_is_harmless():
+    trace = Trace()
+    assert trace.unsubscribe(lambda e: None) is False
+
+
+def test_unsubscribe_removes_one_registration_per_call():
+    trace = Trace()
+    seen = []
+    trace.subscribe(seen.append)
+    trace.subscribe(seen.append)
+    trace.unsubscribe(seen.append)
+    trace.record(1.0, "x", "n")
+    assert len(seen) == 1
+
+
+def test_kind_index_matches_linear_scan():
+    trace = sample_trace()
+    for kind in (KIND_RULE_CHANGE, KIND_MSG_SEND, "missing"):
+        assert trace.of_kind(kind) == [e for e in trace.events if e.kind == kind]
+        assert trace.count_of_kind(kind) == sum(
+            1 for e in trace.events if e.kind == kind
+        )
+
+
+def test_multi_kind_preserves_event_order():
+    trace = sample_trace()
+    both = trace.of_kind(KIND_MSG_SEND, KIND_RULE_CHANGE)
+    times = [e.time for e in both]
+    assert times == sorted(times)
+    # Duplicate kinds must not duplicate events.
+    assert trace.of_kind(KIND_MSG_SEND, KIND_MSG_SEND) == trace.of_kind(KIND_MSG_SEND)
+
+
 def test_iteration_order():
     trace = sample_trace()
     times = [e.time for e in trace]
