@@ -73,9 +73,6 @@ def test_sl_dl_crossover(benchmark):
 
     print_header("Ablation — SL vs DL across update complexity (§7.5)")
     for label, means in rows:
-        auto_pick = "SL" if means["p4update"] <= (
-            means["p4update-sl"] + means["p4update-dl"]
-        ) / 2 and means["p4update-sl"] < means["p4update-dl"] else "DL"
         print(
             f"{label:26s} SL={means['p4update-sl']:8.1f}  "
             f"DL={means['p4update-dl']:8.1f}  auto={means['p4update']:8.1f}"

@@ -10,7 +10,6 @@ several dependency rounds.
 
 from benchutils import emit_manifest, print_header
 
-from repro.consistency import LiveChecker
 from repro.core.messages import UpdateType
 from repro.harness.analysis import count_messages
 from repro.harness.baselines_build import build_central_network, build_ezsegway_network

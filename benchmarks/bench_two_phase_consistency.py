@@ -10,7 +10,6 @@ how many delivered packets followed a *mixed* old/new path:
   and the extra tag-flip round trip.
 """
 
-import numpy as np
 from benchutils import emit_manifest, print_header
 
 from repro.core.messages import UpdateType

@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Compare two ``BENCH_<name>.json`` run manifests (or directories of
+them) and fail on regressions beyond a tolerance.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE CURRENT [--tolerance 0.10]
+
+``BASELINE`` and ``CURRENT`` are either two manifest files or two
+directories scanned for ``BENCH_*.json``.  Numeric leaves of each
+manifest's ``results`` tree are compared pairwise; a value that grew
+by more than ``--tolerance`` (relative) counts as a regression — every
+number a manifest records (update times, preparation times, operation
+counts, ratios, loss counts) is a cost, so "bigger" is "worse".  Use
+``--both-directions`` to also fail on improvements beyond tolerance
+(useful to force baseline refreshes when results shift), and
+``--ignore`` to exclude volatile keys (wall-clock seconds on shared
+CI, say) with fnmatch patterns against the dotted result path.
+
+Exit status: 0 when no regressions, 1 on regressions, 2 on usage or
+I/O errors.  Intended as an informational (``continue-on-error``) CI
+step until baselines are curated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import glob
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One numeric leaf that differs between baseline and current."""
+
+    manifest: str
+    key: str            # dotted path inside results
+    baseline: float
+    current: float
+
+    @property
+    def relative(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.current != 0 else 0.0
+        return (self.current - self.baseline) / abs(self.baseline)
+
+    def row(self) -> str:
+        rel = self.relative
+        arrow = "worse" if rel > 0 else "better"
+        return (
+            f"{self.manifest}:{self.key}: {self.baseline:g} -> "
+            f"{self.current:g} ({rel:+.1%} {arrow})"
+        )
+
+
+def numeric_leaves(tree: object, prefix: str = "") -> Iterator[tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every numeric leaf."""
+    if isinstance(tree, bool):
+        return
+    if isinstance(tree, (int, float)):
+        yield prefix, float(tree)
+    elif isinstance(tree, dict):
+        for key in sorted(tree):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            yield from numeric_leaves(tree[key], child)
+    elif isinstance(tree, (list, tuple)):
+        for i, item in enumerate(tree):
+            yield from numeric_leaves(item, f"{prefix}[{i}]")
+
+
+def load_results(path: str) -> dict[str, float]:
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "results" not in doc:
+        raise ValueError(f"{path}: not a run manifest (no 'results')")
+    return dict(numeric_leaves(doc["results"]))
+
+
+def manifest_set(path: str) -> dict[str, str]:
+    """Manifest name -> file path, for a file or a directory."""
+    if os.path.isdir(path):
+        return {
+            os.path.basename(p): p
+            for p in sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+        }
+    return {os.path.basename(path): path}
+
+
+def compare(
+    baseline: str,
+    current: str,
+    tolerance: float,
+    ignore: Optional[list[str]] = None,
+    both_directions: bool = False,
+) -> tuple[list[Delta], list[str]]:
+    """Returns (regressions, notes).  Raises on I/O or format errors."""
+    ignore = ignore or []
+    base_set = manifest_set(baseline)
+    cur_set = manifest_set(current)
+
+    regressions: list[Delta] = []
+    notes: list[str] = []
+
+    for name in sorted(base_set.keys() - cur_set.keys()):
+        notes.append(f"{name}: present in baseline only (skipped)")
+    for name in sorted(cur_set.keys() - base_set.keys()):
+        notes.append(f"{name}: new manifest, no baseline (skipped)")
+
+    for name in sorted(base_set.keys() & cur_set.keys()):
+        base_values = load_results(base_set[name])
+        cur_values = load_results(cur_set[name])
+        for key in sorted(base_values.keys() - cur_values.keys()):
+            notes.append(f"{name}:{key}: dropped from current results")
+        for key in sorted(cur_values.keys() - base_values.keys()):
+            notes.append(f"{name}:{key}: new result, no baseline")
+        compared = 0
+        for key in sorted(base_values.keys() & cur_values.keys()):
+            if any(fnmatch.fnmatch(key, pattern) for pattern in ignore):
+                continue
+            compared += 1
+            delta = Delta(name, key, base_values[key], cur_values[key])
+            rel = delta.relative
+            if rel > tolerance or (both_directions and rel < -tolerance):
+                regressions.append(delta)
+        notes.append(f"{name}: compared {compared} value(s)")
+    return regressions, notes
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_*.json manifests (or directories)."
+    )
+    parser.add_argument("baseline", help="baseline manifest file or directory")
+    parser.add_argument("current", help="current manifest file or directory")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="relative growth allowed before a value counts as a "
+        "regression (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=[], metavar="PATTERN",
+        help="skip result keys matching this fnmatch pattern, e.g. "
+        "'*_s' for wall-clock seconds (repeatable)",
+    )
+    parser.add_argument(
+        "--both-directions", action="store_true",
+        help="also fail on improvements beyond tolerance",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        regressions, notes = compare(
+            args.baseline, args.current, args.tolerance,
+            ignore=args.ignore, both_directions=args.both_directions,
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    for note in notes:
+        print(note)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance:")
+        for delta in regressions:
+            print(f"  {delta.row()}")
+        return 1
+    print(f"\nno regressions beyond {args.tolerance:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

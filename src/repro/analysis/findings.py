@@ -1,0 +1,36 @@
+"""The shared finding record every static checker emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis diagnostic, formatted ``path:line:col``.
+
+    ``rule`` is the stable machine name (what a ``# repro:
+    ignore[rule]`` comment suppresses); ``suppressed`` marks findings
+    that an ignore comment silenced — they are kept so tooling can
+    report suppression counts, but they never fail a run.
+    """
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    suppressed: bool = False
+
+    def format(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}{tag}"
+
+
+def format_findings(findings: Iterable[Finding]) -> str:
+    """One finding per line, stable order (path, line, col, rule)."""
+    ordered = sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+    return "\n".join(f.format() for f in ordered)

@@ -1,0 +1,255 @@
+"""Built-in sim-purity rules.
+
+Each rule targets one way a change can silently break the repo's
+determinism contract (obs-on runs bit-identical to obs-off in
+simulated time; same seed -> same trace):
+
+* ``wall-clock`` — reading the host clock inside simulation code ties
+  behaviour to the machine, not the seed;
+* ``unseeded-random`` — module-level ``random`` / ``numpy.random``
+  calls draw from hidden global state instead of the run's seeded
+  generator;
+* ``set-iteration`` — iterating a ``set`` yields hash order, which
+  varies across processes once strings are involved; if that order
+  reaches event scheduling, traces diverge;
+* ``mutable-default`` — a shared default ``[]``/``{}``/``set()``
+  leaks state between calls (and between runs in one process);
+* ``unguarded-obs`` — metric calls outside an ``.enabled`` guard
+  allocate label tuples even when observability is off, violating the
+  zero-overhead contract of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.linter import LintContext, LintRule, register_rule
+
+WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register_rule
+class WallClockRule(LintRule):
+    name = "wall-clock"
+    description = (
+        "call reads the host wall clock; simulation code must derive "
+        "time from the engine clock (engine.now)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node.func)
+            if target in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"{target}() reads the wall clock; use the simulated "
+                    f"clock or suppress if wall time is the point",
+                )
+
+
+#: numpy.random attributes that are fine (seeded-generator factories).
+_SEEDED_FACTORIES = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+
+
+@register_rule
+class UnseededRandomRule(LintRule):
+    name = "unseeded-random"
+    description = (
+        "module-level random draw from hidden global state; use the "
+        "run's seeded numpy Generator"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node.func)
+            if target is None:
+                continue
+            if target.startswith("random.") and target != "random.Random":
+                yield self.finding(
+                    ctx, node,
+                    f"{target}() uses the global random state; draw from "
+                    f"a seeded generator instead",
+                )
+            elif target.startswith("numpy.random."):
+                attr = target.split(".", 2)[2]
+                if attr.split(".")[0] not in _SEEDED_FACTORIES:
+                    yield self.finding(
+                        ctx, node,
+                        f"{target}() uses numpy's global random state; use "
+                        f"numpy.random.default_rng(seed)",
+                    )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """True when the expression is syntactically a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "union", "intersection", "difference", "symmetric_difference",
+        ):
+            return _is_set_expr(func.value)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register_rule
+class SetIterationRule(LintRule):
+    name = "set-iteration"
+    description = (
+        "iteration over a set visits elements in hash order; wrap in "
+        "sorted(...) so the order cannot leak into scheduling"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    yield self.finding(
+                        ctx, it,
+                        "iterating a set in hash order; use "
+                        "sorted(<set>) to pin the order",
+                    )
+
+
+_MUTABLE_CALLS = {"set", "list", "dict", "frozenset", "bytearray", "defaultdict"}
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    name = "mutable-default"
+    description = "mutable default argument is shared between calls"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_CALLS
+                ):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default in {node.name}(); use None and "
+                        f"create inside the body (or a dataclass "
+                        f"default_factory)",
+                    )
+
+
+_METRIC_METHODS = {"counter", "gauge", "histogram"}
+
+
+def _is_obs_metric_call(ctx: LintContext, node: ast.Call) -> bool:
+    """Matches ``<...>.obs.metrics.counter(...)`` style calls."""
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr in _METRIC_METHODS):
+        return False
+    registry = func.value
+    if not (isinstance(registry, ast.Attribute) and registry.attr == "metrics"):
+        return False
+    owner = registry.value
+    if isinstance(owner, ast.Attribute):
+        return owner.attr == "obs"
+    if isinstance(owner, ast.Name):
+        return owner.id == "obs" or owner.id.endswith("_obs")
+    return False
+
+
+def _guarded(ctx: LintContext, node: ast.Call) -> bool:
+    """True when the call sits under an ``.enabled`` check.
+
+    Two accepted shapes: an enclosing ``if``/``while``/ternary whose
+    test mentions ``enabled``, or an earlier guard clause in the same
+    function (``if not obs.enabled: return``).
+    """
+    enclosing_fn: ast.AST | None = None
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.If, ast.While, ast.IfExp)):
+            if "enabled" in ast.unparse(ancestor.test):
+                return True
+        elif isinstance(ancestor, ast.Assert):
+            if "enabled" in ast.unparse(ancestor.test):
+                return True
+        elif isinstance(
+            ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and enclosing_fn is None:
+            enclosing_fn = ancestor
+    if enclosing_fn is None:
+        return False
+    for stmt in enclosing_fn.body:  # type: ignore[attr-defined]
+        if stmt.lineno >= node.lineno:
+            break
+        if (
+            isinstance(stmt, ast.If)
+            and "enabled" in ast.unparse(stmt.test)
+            and all(
+                isinstance(s, (ast.Return, ast.Raise, ast.Continue))
+                for s in stmt.body
+            )
+        ):
+            return True
+    return False
+
+
+@register_rule
+class UnguardedObsRule(LintRule):
+    name = "unguarded-obs"
+    description = (
+        "obs metric call outside an `if obs.enabled:` guard; hot paths "
+        "must stay allocation-free when observability is off"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_obs_metric_call(ctx, node):
+                continue
+            if _guarded(ctx, node):
+                continue
+            call = ast.unparse(node.func)
+            yield self.finding(
+                ctx, node,
+                f"{call}(...) is not guarded by `.enabled`; wrap it in "
+                f"`if obs.enabled:` (or use obs.count()/obs.observe())",
+            )

@@ -30,7 +30,7 @@ update) — the behaviour §4.2 contrasts with P4Update's fast-forward.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 import networkx as nx

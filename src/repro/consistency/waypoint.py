@@ -18,7 +18,7 @@ transient mixed path happens to contain the waypoint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.consistency.state import ForwardingState

@@ -197,6 +197,8 @@ class P4UpdateController(Node):
     def push_update(self, prepared: PreparedUpdate) -> None:
         """Send all UIMs of a prepared update into the data plane."""
         record = self.flow_db[prepared.flow_id]
+        if self.params.verify_update_plans:
+            self._verify_before_push(prepared, record)
         record.update_sent_at = self.now
         if self.obs.enabled:
             self.obs.metrics.counter("uims_sent", node=self.name).inc(
@@ -210,6 +212,40 @@ class P4UpdateController(Node):
                 timeout, self._check_completion,
                 prepared.flow_id, prepared.version,
             )
+
+    def _verify_before_push(
+        self, prepared: PreparedUpdate, record: FlowRecord
+    ) -> None:
+        """Static plan gate (``SimParams.verify_update_plans``).
+
+        Destination-tree pushes (``child_ports``) have no linear plan
+        model and pass through unchecked.  On rejection the pending
+        Flow-DB state is rolled back so the flow can be re-prepared.
+        """
+        if any(uim.child_ports for uim in prepared.uims):
+            return
+        from repro.analysis.plan import (
+            PlanVerificationError,
+            plan_from_prepared,
+            verify_plan,
+        )
+
+        prior = record.version
+        plan = plan_from_prepared(prepared, prior_version=prior)
+        report = verify_plan(plan)
+        if report.ok:
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "plans_verified", node=self.name
+                ).inc()
+            return
+        if record.pending_version == prepared.version:
+            record.pending_path = None
+            record.pending_version = None
+        self._prepared.pop((prepared.flow_id, prepared.version), None)
+        if self.obs.enabled:
+            self.obs.metrics.counter("plans_rejected", node=self.name).inc()
+        raise PlanVerificationError(report.describe())
 
     def _check_completion(self, flow_id: int, version: int) -> None:
         """§11 controller-side watchdog: the update produced no UFM in

@@ -40,7 +40,6 @@ from repro.core.registers import (
 )
 from repro.core.scheduler import CongestionScheduler
 from repro.core.verification import (
-    Decision,
     NodeFlowState,
     Verdict,
     verify_dl,

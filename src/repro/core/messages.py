@@ -19,7 +19,7 @@ travels the data plane as a packet.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.p4.packet import HeaderField, HeaderType, Packet

@@ -23,7 +23,6 @@ remains available for collision experiments.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.p4.registers import RegisterFile
 

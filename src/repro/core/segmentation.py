@@ -15,7 +15,7 @@ backward, {v4,v5,v6,v7} forward.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.labeling import distance_labels

@@ -12,7 +12,7 @@ software-switch distribution (see DESIGN.md §1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 

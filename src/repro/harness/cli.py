@@ -8,7 +8,10 @@ Commands regenerate individual experiments without pytest:
 * ``fig8`` — the control-plane preparation ratios;
 * ``demo`` — a quick single-flow update walk-through with tracing;
 * ``obs`` — observability tooling: export an instrumented demo run as
-  a JSONL trace, then ``filter``/``summary`` over any exported trace.
+  a JSONL trace, then ``filter``/``summary`` over any exported trace;
+* ``analyze`` — static verification: the sim-purity linter, the
+  update-plan verifier and the pipeline analyzer
+  (:mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -290,6 +293,9 @@ def main(argv=None) -> int:
     pfil.add_argument("--out", default="-", help="output path, or - for stdout")
     psum = obs_sub.add_parser("summary", help="summarize an exported JSONL trace")
     psum.add_argument("trace", help="path to a JSONL trace")
+    from repro.analysis.cli import add_analyze_parser, cmd_analyze
+
+    add_analyze_parser(sub)
     args = parser.parse_args(argv)
     handler = {
         "fig2": cmd_fig2,
@@ -299,6 +305,7 @@ def main(argv=None) -> int:
         "demo": cmd_demo,
         "run": cmd_run,
         "obs": cmd_obs,
+        "analyze": cmd_analyze,
     }[args.command]
     return handler(args)
 

@@ -170,7 +170,7 @@ def _run_p4update(
         "experiment", system=system, topology=scenario.topology.name,
         flows=len(scenario.flows),
     ):
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: ignore[wall-clock] preparation is host-side work
         with obs.spans.span("preparation"):
             prepared = [
                 dep.controller.prepare_update(
@@ -179,7 +179,7 @@ def _run_p4update(
                 )
                 for flow in scenario.flows
             ]
-        prep_time = time.perf_counter() - started
+        prep_time = time.perf_counter() - started  # repro: ignore[wall-clock] preparation is host-side work
         with obs.spans.span("uim_fanout"):
             for update in prepared:
                 dep.controller.push_update(update)
@@ -226,7 +226,7 @@ def _run_ezsegway(
         "experiment", system="ezsegway", topology=scenario.topology.name,
         flows=len(scenario.flows),
     ):
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: ignore[wall-clock] preparation is host-side work
         with obs.spans.span("preparation"):
             move_ranks = None
             if congestion_aware:
@@ -239,7 +239,7 @@ def _run_ezsegway(
                         scenario.flows, capacities
                     )
                 _install_expected_ranks(dep, scenario, move_ranks)
-        prep_time = time.perf_counter() - started
+        prep_time = time.perf_counter() - started  # repro: ignore[wall-clock] preparation is host-side work
 
         with obs.spans.span("uim_fanout"):
             update_ids = {}
@@ -268,7 +268,7 @@ def _run_ezsegway(
 def _install_expected_ranks(dep, scenario: UpdateScenario, move_ranks: dict) -> None:
     """Tell every switch the static move order per outgoing link."""
     per_link: dict[tuple[str, str], list[int]] = {}
-    for (flow_id, (a, b)), rank in move_ranks.items():
+    for (_flow_id, (a, b)), rank in move_ranks.items():
         per_link.setdefault((a, b), []).append(rank)
     for (a, b), ranks in per_link.items():
         if a in dep.switches:
@@ -297,11 +297,11 @@ def _run_central(
         "experiment", system="central", topology=scenario.topology.name,
         flows=len(scenario.flows),
     ):
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: ignore[wall-clock] preparation is host-side work
         with obs.spans.span("preparation"):
             for flow in scenario.flows:
                 dep.controller.update_flow(flow.flow_id, list(flow.new_path or []))
-        prep_time = time.perf_counter() - started
+        prep_time = time.perf_counter() - started  # repro: ignore[wall-clock] preparation is host-side work
         with obs.spans.span("run_to_quiescence"):
             dep.run()
 

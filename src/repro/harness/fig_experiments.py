@@ -11,10 +11,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from repro.consistency import LiveChecker
 from repro.core.messages import UIM, UpdateType

@@ -22,10 +22,8 @@ Topology Zoo GraphML file.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any
 
-import numpy as np
 
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.scenarios import UpdateScenario

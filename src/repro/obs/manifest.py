@@ -86,7 +86,7 @@ def build_manifest(
         "schema": MANIFEST_SCHEMA,
         "name": name,
         "version": repo_version(),
-        "created": time.time(),
+        "created": time.time(),  # repro: ignore[wall-clock] manifest timestamp
         "params": dict(params or {}),
         "seed": seed,
         "results": dict(results or {}),

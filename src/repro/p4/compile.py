@@ -17,9 +17,8 @@ from __future__ import annotations
 import json
 from typing import Optional
 
-from repro.p4.packet import HeaderField, HeaderType
+from repro.p4.packet import HeaderType
 from repro.p4.pipeline import PipelineProgram
-from repro.p4.registers import RegisterFile
 from repro.p4.tables import MatchKind, Table
 
 FORMAT_VERSION = 1

@@ -9,7 +9,7 @@ action parameters; the pipeline looks actions up on the program.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 

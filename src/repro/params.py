@@ -9,7 +9,6 @@ are abstract rate units (the paper normalises the same way).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 import numpy as np
 
@@ -120,6 +119,11 @@ class SimParams:
     # produced no UFM within this window is re-triggered (covers loss
     # of the final notification when no switch is left waiting).
     controller_update_timeout_ms: float = 0.0
+    # Static pre-execution gate: verify every prepared linear plan
+    # (repro.analysis.plan) before its UIMs leave the controller.
+    # Rejected plans raise PlanVerificationError and roll back the
+    # pending Flow-DB state instead of deadlocking the data plane.
+    verify_update_plans: bool = False
 
     # -- fat-tree control latency (DESIGN.md §1, Huang et al. stand-in) ----
     fattree_control_latency: DelayDistribution = field(

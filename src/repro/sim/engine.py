@@ -10,7 +10,14 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Protocol
+
+
+class SupportsRecord(Protocol):
+    """Callback profiler interface (see :mod:`repro.obs.profiler`)."""
+
+    def record(self, callback: Callable[..., Any], elapsed_s: float) -> None:
+        ...
 
 
 class Event:
@@ -22,7 +29,9 @@ class Event:
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self, time: float, seq: int, callback: Callable[..., Any], args: tuple
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -56,7 +65,7 @@ class Engine:
         self._processed = 0
         # Opt-in wall-clock attribution (repro.obs.profiler).  None by
         # default: the dispatch loop pays one `is None` check per event.
-        self._profiler = None
+        self._profiler: Optional[SupportsRecord] = None
 
     @property
     def now(self) -> float:
@@ -69,10 +78,10 @@ class Engine:
         return self._processed
 
     @property
-    def profiler(self):
+    def profiler(self) -> Optional["SupportsRecord"]:
         return self._profiler
 
-    def set_profiler(self, profiler) -> None:
+    def set_profiler(self, profiler: Optional["SupportsRecord"]) -> None:
         """Install (or, with None, remove) a callback profiler.
 
         The profiler's ``record(callback, elapsed_seconds)`` is invoked
@@ -118,10 +127,10 @@ class Engine:
             if self._profiler is None:
                 event.callback(*event.args)
             else:
-                started = time.perf_counter()
+                started = time.perf_counter()  # repro: ignore[wall-clock] profiler
                 event.callback(*event.args)
                 self._profiler.record(
-                    event.callback, time.perf_counter() - started
+                    event.callback, time.perf_counter() - started  # repro: ignore[wall-clock] profiler
                 )
             return True
         return False

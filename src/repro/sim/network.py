@@ -20,7 +20,7 @@ from typing import Any, Optional
 
 from repro.obs.context import NULL_OBS, ObsContext
 from repro.sim.engine import Engine
-from repro.sim.faults import FaultAction, FaultDecision
+from repro.sim.faults import FaultAction, FaultDecision, FaultModel
 from repro.sim.links import ControlChannel, Link
 from repro.sim.node import Node
 from repro.sim.trace import (
@@ -51,8 +51,8 @@ class Network:
         self._adjacency: dict[tuple[str, str], Link] = {}
         self.control_channels: dict[str, ControlChannel] = {}
         self.controller_name: Optional[str] = None
-        self.fault_model = None
-        self.control_fault_model = None
+        self.fault_model: Optional[FaultModel] = None
+        self.control_fault_model: Optional[FaultModel] = None
         # Single-threaded controller service queue state.
         self.controller_service_busy_until = 0.0
 
@@ -280,7 +280,9 @@ class Network:
 
     # -- faults -------------------------------------------------------------------
 
-    def _fault_decision(self, model, message: Any) -> FaultDecision:
+    def _fault_decision(
+        self, model: Optional["FaultModel"], message: Any
+    ) -> FaultDecision:
         if model is None:
             return FaultDecision()
         return model.decide(message)

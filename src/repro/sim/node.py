@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Any, Optional
 from repro.obs.context import NULL_OBS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
     from repro.sim.network import Network
 
 
@@ -39,7 +40,7 @@ class Node:
     # -- messaging -----------------------------------------------------
 
     @property
-    def engine(self):
+    def engine(self) -> "Engine":
         if self.network is None:
             raise RuntimeError(f"node {self.name!r} is not attached to a network")
         return self.network.engine

@@ -8,7 +8,7 @@ the Fig. 2 bench extracts per-node packet-receive series from them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional
 
 
@@ -85,7 +85,7 @@ class Trace:
             positions = self._by_kind.get(kinds[0], ())
         else:
             merged: list[int] = []
-            for kind in set(kinds):
+            for kind in sorted(set(kinds)):
                 merged.extend(self._by_kind.get(kind, ()))
             positions = sorted(merged)
         return [self.events[i] for i in positions]

@@ -146,7 +146,7 @@ def load_graphml(
             labels[node_id]: coord for node_id, coord in coords.items()
         },
     )
-    for node_id, label in labels.items():
+    for label in labels.values():
         topo.add_node(label)
     for pair in sorted(edges, key=sorted):
         a, b = sorted(pair)

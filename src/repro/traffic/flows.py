@@ -7,7 +7,7 @@ pair with an immutable size bound (the controller-known maximum rate,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 

@@ -11,7 +11,7 @@ pushes aggregate load to a target fraction of network capacity
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

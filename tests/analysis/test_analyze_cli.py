@@ -1,0 +1,71 @@
+"""The ``analyze`` CLI subcommands, driven through the real main()."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+def test_analyze_lint_default_paths_clean(capsys):
+    assert main(["analyze", "lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_analyze_lint_flags_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    assert main(["analyze", "lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "wall-clock" in out
+    assert "1 finding(s)" in out
+
+
+def test_analyze_lint_select_rule(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\nfor x in {1, 2}:\n    pass\n")
+    assert main(["analyze", "lint", "--select", "set-iteration", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "set-iteration" in out
+    assert "wall-clock" not in out
+
+
+def test_analyze_lint_unknown_rule(capsys):
+    assert main(["analyze", "lint", "--select", "nope", "x.py"]) == 2
+    assert "unknown rule" in capsys.readouterr().out
+
+
+def test_analyze_lint_show_suppressed(tmp_path, capsys):
+    source = "import time\nt = time.time()  # repro: ignore[wall-clock]\n"
+    path = tmp_path / "ok.py"
+    path.write_text(source)
+    assert main(["analyze", "lint", "--show-suppressed", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "1 suppressed" in out
+    assert "wall-clock" in out
+
+
+def test_analyze_plan_quick(capsys):
+    assert main(["analyze", "plan", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1 single" in out
+    assert "rejected" in out
+    assert "counterexample path:" in out
+    assert "no failure(s)" in out
+
+
+def test_analyze_pipeline(capsys):
+    assert main(["analyze", "pipeline"]) == 0
+    out = capsys.readouterr().out
+    assert "P4UpdateProgram" in out
+    assert "0 finding(s)" in out
+
+
+def test_analyze_pipeline_without_cap(capsys):
+    assert main(["analyze", "pipeline", "--no-runtime-cap"]) == 1
+    out = capsys.readouterr().out
+    assert "unbounded-resubmit" in out
+
+
+def test_analyze_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["analyze"])

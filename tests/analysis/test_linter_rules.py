@@ -1,0 +1,309 @@
+"""Every built-in sim-purity rule: positive hit + suppression."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source
+from repro.analysis.linter import (
+    LintContext,
+    default_rules,
+    lint_paths,
+    rule_names,
+    suppressions,
+)
+
+
+def lint(code, **kwargs):
+    return lint_source(textwrap.dedent(code), path="mod.py", **kwargs)
+
+
+def rules_hit(code, **kwargs):
+    return {f.rule for f in lint(code, **kwargs)}
+
+
+# -- wall-clock ---------------------------------------------------------------
+
+
+def test_wall_clock_direct_call():
+    findings = lint("""
+        import time
+        def stamp():
+            return time.time()
+    """)
+    assert [f.rule for f in findings] == ["wall-clock"]
+    assert findings[0].line == 4
+
+
+def test_wall_clock_aliased_module():
+    assert rules_hit("""
+        import time as clock
+        t = clock.perf_counter()
+    """) == {"wall-clock"}
+
+
+def test_wall_clock_from_import():
+    assert rules_hit("""
+        from time import perf_counter
+        t = perf_counter()
+    """) == {"wall-clock"}
+
+
+def test_wall_clock_datetime_now():
+    assert rules_hit("""
+        import datetime
+        stamp = datetime.datetime.now()
+    """) == {"wall-clock"}
+
+
+def test_wall_clock_suppressed():
+    findings = lint("""
+        import time
+        t = time.time()  # repro: ignore[wall-clock] profiler needs wall time
+    """)
+    assert findings == []
+
+
+def test_wall_clock_sleep_not_flagged():
+    assert rules_hit("""
+        import time
+        time.sleep(1)
+    """) == set()
+
+
+# -- unseeded-random -----------------------------------------------------------
+
+
+def test_unseeded_stdlib_random():
+    assert rules_hit("""
+        import random
+        x = random.random()
+        y = random.shuffle([1, 2])
+    """) == {"unseeded-random"}
+
+
+def test_unseeded_numpy_global_state():
+    assert rules_hit("""
+        import numpy as np
+        x = np.random.rand(3)
+    """) == {"unseeded-random"}
+
+
+def test_seeded_numpy_generator_ok():
+    assert rules_hit("""
+        import numpy as np
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 10)
+    """) == set()
+
+
+def test_unseeded_random_suppressed():
+    findings = lint("""
+        import random
+        x = random.random()  # repro: ignore[unseeded-random]
+    """)
+    assert findings == []
+
+
+# -- set-iteration -------------------------------------------------------------
+
+
+def test_set_literal_iteration():
+    assert rules_hit("""
+        for item in {"a", "b"}:
+            print(item)
+    """) == {"set-iteration"}
+
+
+def test_set_call_iteration():
+    assert rules_hit("""
+        def f(xs):
+            return [x for x in set(xs)]
+    """) == {"set-iteration"}
+
+
+def test_set_union_iteration():
+    assert rules_hit("""
+        def f(a, b):
+            for x in set(a) | set(b):
+                yield x
+    """) == {"set-iteration"}
+
+
+def test_sorted_set_ok():
+    assert rules_hit("""
+        def f(xs):
+            for x in sorted(set(xs)):
+                yield x
+    """) == set()
+
+
+def test_set_iteration_suppressed():
+    findings = lint("""
+        def f(xs):
+            for x in set(xs):  # repro: ignore[set-iteration] order irrelevant
+                xs.discard(x)
+    """)
+    assert findings == []
+
+
+# -- mutable-default -----------------------------------------------------------
+
+
+def test_mutable_default_literal():
+    assert rules_hit("""
+        def f(items=[]):
+            return items
+    """) == {"mutable-default"}
+
+
+def test_mutable_default_call():
+    assert rules_hit("""
+        def f(*, seen=set()):
+            return seen
+    """) == {"mutable-default"}
+
+
+def test_none_default_ok():
+    assert rules_hit("""
+        def f(items=None):
+            return items or []
+    """) == set()
+
+
+def test_mutable_default_suppressed():
+    findings = lint("""
+        def f(items=[]):  # repro: ignore[mutable-default]
+            return items
+    """)
+    assert findings == []
+
+
+# -- unguarded-obs -------------------------------------------------------------
+
+
+def test_unguarded_obs_metric():
+    assert rules_hit("""
+        def record(self):
+            self.obs.metrics.counter("packets", node=self.name).inc()
+    """) == {"unguarded-obs"}
+
+
+def test_guarded_obs_metric_ok():
+    assert rules_hit("""
+        def record(self):
+            if self.obs.enabled:
+                self.obs.metrics.counter("packets", node=self.name).inc()
+    """) == set()
+
+
+def test_guard_clause_obs_ok():
+    # The scheduler.attach_obs shape: early return, then bare calls.
+    assert rules_hit("""
+        def attach(obs, name):
+            if not obs.enabled:
+                return
+            obs.metrics.counter("admitted", node=name).inc()
+    """) == set()
+
+
+def test_unguarded_obs_suppressed():
+    findings = lint("""
+        def record(obs):
+            obs.metrics.gauge("depth").set(1)  # repro: ignore[unguarded-obs]
+    """)
+    assert findings == []
+
+
+# -- framework behaviour --------------------------------------------------------
+
+
+def test_ignore_all_suppresses_everything():
+    findings = lint("""
+        import time
+        t = time.time()  # repro: ignore[all]
+    """)
+    assert findings == []
+
+
+def test_include_suppressed_marks_findings():
+    findings = lint(
+        """
+        import time
+        t = time.time()  # repro: ignore[wall-clock]
+        """,
+        include_suppressed=True,
+    )
+    assert len(findings) == 1
+    assert findings[0].suppressed
+
+
+def test_suppression_is_per_line():
+    findings = lint("""
+        import time
+        a = time.time()  # repro: ignore[wall-clock]
+        b = time.time()
+    """)
+    assert [f.rule for f in findings] == ["wall-clock"]
+    assert findings[0].line == 4
+
+
+def test_suppression_comment_parsing():
+    table = suppressions(
+        "x = 1  # repro: ignore[wall-clock, set-iteration]\ny = 2\n"
+    )
+    assert table == {1: {"wall-clock", "set-iteration"}}
+
+
+def test_rule_names_catalogue():
+    assert rule_names() == [
+        "mutable-default",
+        "set-iteration",
+        "unguarded-obs",
+        "unseeded-random",
+        "wall-clock",
+    ]
+
+
+def test_finding_format():
+    findings = lint("""
+        import time
+        t = time.time()
+    """)
+    text = findings[0].format()
+    assert text.startswith("mod.py:3:")
+    assert "wall-clock" in text
+
+
+def test_alias_resolution():
+    ctx = LintContext("m.py", "import numpy as np\n")
+    assert ctx.aliases["np"] == "numpy"
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+    sub = tmp_path / "__pycache__"
+    sub.mkdir()
+    (sub / "skipme.py").write_text("import time\nt = time.time()\n")
+    findings = lint_paths([str(tmp_path)])
+    assert [f.rule for f in findings] == ["wall-clock"]
+    assert findings[0].path.endswith("bad.py")
+
+
+def test_lint_paths_syntax_error_handler(tmp_path):
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    seen = []
+    lint_paths([str(tmp_path)], on_error=lambda p, e: seen.append(p))
+    assert len(seen) == 1
+    with pytest.raises(SyntaxError):
+        lint_paths([str(tmp_path)])
+
+
+def test_repo_sim_core_obs_p4_lint_clean():
+    """The acceptance criterion: the linted packages carry no
+    unsuppressed findings."""
+    from repro.analysis.cli import default_lint_paths
+
+    findings = lint_paths(default_lint_paths(), default_rules())
+    assert findings == [], "\n".join(f.format() for f in findings)

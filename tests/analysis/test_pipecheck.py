@@ -1,0 +1,239 @@
+"""Pipeline static analyzer: toy bad programs + the real P4UpdateProgram."""
+
+from repro.analysis.pipecheck import analyze_pipeline
+
+
+class FakeRegisterFile:
+    def __init__(self, names):
+        self._names = list(names)
+
+    def names(self):
+        return list(self._names)
+
+
+class FakeTable:
+    def __init__(self, default_action=None):
+        self.default_action = default_action
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# -- registers ------------------------------------------------------------------
+
+
+class ReadNeverWritten:
+    def __init__(self):
+        self.registers = FakeRegisterFile(["egress_port"])
+        self.tables = {}
+
+    def ingress(self, ctx, pkt):
+        return self.registers["egress_port"].read(0)
+
+
+def test_register_never_written():
+    findings = analyze_pipeline(ReadNeverWritten())
+    assert rules_of(findings) == {"register-never-written"}
+    assert "egress_port" in findings[0].message
+
+
+class ReadBeforeWrite:
+    def __init__(self):
+        self.registers = FakeRegisterFile(["seen"])
+        self.tables = {}
+
+    def ingress(self, ctx, pkt):
+        return self.registers["seen"].read(0)
+
+    def egress(self, ctx, pkt):
+        self.registers["seen"].write(0, 1)
+
+
+def test_register_read_before_write():
+    findings = analyze_pipeline(ReadBeforeWrite())
+    assert rules_of(findings) == {"register-read-before-write"}
+
+
+class WriteThenReadAcrossStages:
+    def __init__(self):
+        self.registers = FakeRegisterFile(["seen"])
+        self.tables = {}
+
+    def ingress(self, ctx, pkt):
+        self.registers["seen"].write(0, 1)
+
+    def egress(self, ctx, pkt):
+        return self.registers["seen"].read(0)
+
+
+def test_write_then_read_is_clean():
+    assert analyze_pipeline(WriteThenReadAcrossStages()) == []
+
+
+class ControlPlaneWriter:
+    """Stage reads; a non-stage method (runtime API) writes."""
+
+    def __init__(self):
+        self.registers = FakeRegisterFile(["version"])
+        self.tables = {}
+
+    def ingress(self, ctx, pkt):
+        return self.registers["version"].read(0)
+
+    def store_version(self, value):
+        self.registers["version"].write(0, value)
+
+
+def test_control_plane_write_satisfies_reads():
+    assert analyze_pipeline(ControlPlaneWriter()) == []
+
+
+class AgentWriter:
+    """Stage reads; only the attached switch agent writes."""
+
+    def __init__(self, agent):
+        self.registers = FakeRegisterFile(["tag"])
+        self.tables = {}
+        self.agent = agent
+
+    def ingress(self, ctx, pkt):
+        return self.registers["tag"].read(0)
+
+
+class TagAgent:
+    def __init__(self):
+        self.program = None
+
+    def flip_tag(self):
+        self.program.registers["tag"].write(0, 1)
+
+
+def test_agent_write_satisfies_reads():
+    agent = TagAgent()
+    program = AgentWriter(agent)
+    agent.program = program
+    assert analyze_pipeline(program) == []
+    assert rules_of(analyze_pipeline(program, include_agent=False)) == {
+        "register-never-written"
+    }
+
+
+class HelperWriter:
+    """The write happens in a helper the stage calls — reachability."""
+
+    def __init__(self):
+        self.registers = FakeRegisterFile(["count"])
+        self.tables = {}
+
+    def ingress(self, ctx, pkt):
+        self._bump()
+        return self.registers["count"].read(0)
+
+    def _bump(self):
+        regs = self.registers
+        regs["count"].write(0, 1)
+
+
+def test_helper_reachability_and_alias_tracking():
+    assert analyze_pipeline(HelperWriter()) == []
+
+
+class UndeclaredRegister:
+    def __init__(self):
+        self.registers = FakeRegisterFile(["real"])
+        self.tables = {}
+
+    def ingress(self, ctx, pkt):
+        self.registers["real"].write(0, 1)
+        return self.registers["tpyo"].read(0)
+
+
+def test_undeclared_register():
+    findings = analyze_pipeline(UndeclaredRegister())
+    assert "register-undeclared" in rules_of(findings)
+    assert any("tpyo" in f.message for f in findings)
+
+
+# -- tables ---------------------------------------------------------------------
+
+
+class NoDefaultTable:
+    def __init__(self):
+        self.registers = FakeRegisterFile([])
+        self.tables = {"fwd": FakeTable(default_action=None)}
+
+    def ingress(self, ctx, pkt):
+        return None
+
+
+def test_table_missing_default():
+    findings = analyze_pipeline(NoDefaultTable())
+    assert rules_of(findings) == {"table-missing-default"}
+
+
+def test_table_with_default_ok():
+    program = NoDefaultTable()
+    program.tables = {"fwd": FakeTable(default_action="drop")}
+    assert analyze_pipeline(program) == []
+
+
+# -- resubmit -------------------------------------------------------------------
+
+
+class UnboundedResubmitter:
+    def __init__(self):
+        self.registers = FakeRegisterFile([])
+        self.tables = {}
+
+    def ingress(self, ctx, pkt):
+        ctx.resubmit()
+
+
+def test_unbounded_resubmit_flagged_without_cap():
+    findings = analyze_pipeline(UnboundedResubmitter())
+    assert rules_of(findings) == {"unbounded-resubmit"}
+
+
+def test_resubmit_ok_with_runtime_cap():
+    assert analyze_pipeline(UnboundedResubmitter(), max_resubmits=100) == []
+
+
+class SelfBoundedResubmitter:
+    def __init__(self):
+        self.registers = FakeRegisterFile([])
+        self.tables = {}
+
+    def ingress(self, ctx, pkt):
+        if pkt.resubmit_count < 8:
+            ctx.resubmit()
+
+
+def test_resubmit_ok_when_program_checks_count():
+    assert analyze_pipeline(SelfBoundedResubmitter()) == []
+
+
+# -- the real deployed program ----------------------------------------------------
+
+
+def test_real_p4update_program_is_clean():
+    from repro.harness.build import build_p4update_network
+    from repro.params import SimParams
+    from repro.topo import fig1_topology
+
+    params = SimParams(seed=0)
+    deployment = build_p4update_network(fig1_topology(), params=params)
+    program = deployment.switches["v0"].program
+    findings = analyze_pipeline(program, max_resubmits=params.max_resubmits)
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_real_program_resubmit_needs_declared_cap():
+    from repro.harness.build import build_p4update_network
+    from repro.params import SimParams
+    from repro.topo import fig1_topology
+
+    deployment = build_p4update_network(fig1_topology(), params=SimParams(seed=0))
+    program = deployment.switches["v0"].program
+    findings = analyze_pipeline(program, max_resubmits=None)
+    assert rules_of(findings) == {"unbounded-resubmit"}

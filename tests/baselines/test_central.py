@@ -1,6 +1,5 @@
 """Tests for the Central (dependency-graph rounds) baseline."""
 
-import pytest
 
 from repro.consistency import LiveChecker
 from repro.harness.baselines_build import build_central_network

@@ -2,7 +2,6 @@
 construction: any interleaving of a round's flips must be safe."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

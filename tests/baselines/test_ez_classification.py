@@ -1,7 +1,6 @@
 """Unit tests for ez-Segway's in_loop classification and its agreement
 with P4Update's distance-based forward/backward rule."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

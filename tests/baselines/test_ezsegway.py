@@ -1,6 +1,5 @@
 """Tests for the ez-Segway baseline."""
 
-import pytest
 
 from repro.baselines.ezsegway import (
     congestion_dependency_graph,
@@ -133,7 +132,7 @@ def test_ez_serializes_consecutive_updates():
     dep = build_ezsegway_network(topo, params=fast_params(install_ms=5.0))
     flow = Flow.between("n0", "n3", size=1.0, old_path=["n0", "n1", "n2", "n3"])
     dep.install_flow(flow)
-    u2 = dep.controller.update_flow(flow.flow_id, ["n0", "n5", "n4", "n3"])
+    dep.controller.update_flow(flow.flow_id, ["n0", "n5", "n4", "n3"])
     u3 = dep.controller.update_flow(flow.flow_id, ["n0", "n1", "n2", "n3"])
     assert u3 == -1, "second update must be queued, not pushed"
     dep.run()

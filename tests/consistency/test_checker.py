@@ -1,6 +1,5 @@
 """Unit tests for the consistency checkers."""
 
-import pytest
 
 from repro.consistency import (
     ForwardingState,

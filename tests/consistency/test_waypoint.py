@@ -67,7 +67,6 @@ def test_two_phase_preserves_waypoint_per_packet():
     from repro.harness.build import build_p4update_network
     from repro.harness.probes import ProbeSource
     from repro.params import DelayDistribution, SimParams
-    from repro.topo import ring_topology
     from repro.traffic.flows import Flow
 
     # Ring of 8: both n0->n4 arcs exist; waypoint must be on both

@@ -1,10 +1,9 @@
 """Tests for the §11 extensions: rule cleanup, UNM-loss recovery, and
 the App. C consecutive-dual-layer extension."""
 
-import pytest
 
 from repro.consistency import LiveChecker
-from repro.core.messages import UNMFields, UpdateType
+from repro.core.messages import UpdateType
 from repro.harness.build import build_p4update_network
 from repro.params import DelayDistribution, SimParams
 from repro.sim.faults import CompositeFaultModel, FaultAction, ScriptedFault
@@ -41,7 +40,7 @@ def test_cleanup_removes_abandoned_rules_and_reservations():
         switch = dep.switches[node]
         state = switch.program.state_of(flow.flow_id)
         assert state.new_version == 0, f"{node} kept stale state"
-        port_toward_next = 1  # any port: all reservations must be zero
+        # All reservations must be zero on every port.
         for port in (1, 2):
             assert switch.program.scheduler.port_budget(port).reserved == 0.0
         assert dep.forwarding_state.next_hop(flow.flow_id, node) is None

@@ -1,6 +1,5 @@
 """Tests for §11 compact updates (piggybacked UIMs on the UNM)."""
 
-import pytest
 
 from repro.consistency import LiveChecker
 from repro.core.messages import UpdateType

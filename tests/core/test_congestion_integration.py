@@ -1,7 +1,6 @@
 """Integration tests for congestion-freedom (§7.4, App. A.2) at the
 full-protocol level."""
 
-import pytest
 
 from repro.consistency import LiveChecker
 from repro.core.messages import UpdateType

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.consistency import LiveChecker
-from repro.core.messages import FRM, UFM, UIM, UpdateType, make_probe
+from repro.core.messages import UFM, UIM, UpdateType, make_probe
 from repro.harness.build import build_p4update_network
 from repro.params import DelayDistribution, SimParams
 from repro.topo import ring_topology

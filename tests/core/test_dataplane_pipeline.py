@@ -1,7 +1,6 @@
 """Unit tests for the P4Update pipeline program at the packet level —
 the §8 mechanisms exercised directly, without a controller."""
 
-import pytest
 
 from repro.core.dataplane import P4UpdateProgram
 from repro.core.messages import UIM, UNMFields, UpdateType, make_cleanup, make_probe

@@ -9,7 +9,6 @@ converge, and DL must never lose to itself across modes.
 
 import networkx as nx
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,11 +1,9 @@
 """Unit tests for Alg. 2 (DL verification), pinned to the Fig. 1
 walk-through of paper §3.2."""
 
-import pytest
 
 from repro.core.messages import UIM, UNMFields, UpdateType
 from repro.core.verification import (
-    Decision,
     NodeFlowState,
     Verdict,
     apply_sl_state,

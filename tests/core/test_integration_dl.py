@@ -1,6 +1,5 @@
 """End-to-end DL-P4Update runs — the Fig. 1 scenario and variants."""
 
-import pytest
 
 from repro.consistency import LiveChecker
 from repro.core.messages import UpdateType

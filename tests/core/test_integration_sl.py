@@ -6,7 +6,6 @@ installs, UFM feedback — with the live consistency checker asserting
 blackhole/loop/congestion freedom at every rule change.
 """
 
-import pytest
 
 from repro.consistency import LiveChecker
 from repro.core.messages import UpdateType

@@ -1,6 +1,5 @@
 """Unit tests for the §7.4 congestion scheduler."""
 
-import pytest
 
 from repro.core.scheduler import CongestionScheduler, Priority
 

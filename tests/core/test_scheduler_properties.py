@@ -8,7 +8,6 @@ Invariants:
   classification agrees with an independent cycle check.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.segmentation import (
-    Segment,
     backward_segments,
     compute_gateways,
     compute_segments,

@@ -1,6 +1,5 @@
 """Unit tests for Alg. 1 (SL verification) — the Fig. 6 scenarios."""
 
-import pytest
 
 from repro.core.messages import UIM, UNMFields, UpdateType
 from repro.core.verification import Verdict, verify_sl

@@ -1,7 +1,6 @@
 """Unit tests for P4UpdateSwitch internals: install supersession,
 fast-forward interplay, multi-flow coexistence on one switch."""
 
-import pytest
 
 from repro.consistency import LiveChecker
 from repro.core.messages import UpdateType

@@ -6,7 +6,6 @@ entirely or the new path entirely — never a mix.  Plain SL updates
 give the weaker relative consistency (mixed but loop-free paths).
 """
 
-import pytest
 
 from repro.consistency import LiveChecker
 from repro.core.messages import UpdateType
@@ -56,8 +55,7 @@ def run_with_probes(dep, flow, update, probe_until=400.0):
     probes = []
 
     # Capture packet hop logs at delivery time via the delivered hook.
-    original = {}
-    for name, switch in dep.switches.items():
+    for switch in dep.switches.values():
         def wrapped(flow_id, packet, _orig=switch.note_probe_delivered):
             probes.append(list(packet.meta.get("hops", [])))
             _orig(flow_id, packet)

@@ -1,6 +1,5 @@
 """Unit tests for the message-overhead analysis helpers."""
 
-import pytest
 
 from repro.harness.analysis import MessageStats, _type_of, count_messages
 from repro.sim.trace import KIND_MSG_SEND, Trace

@@ -1,6 +1,5 @@
 """Unit tests for the deployment builders."""
 
-import numpy as np
 import pytest
 
 from repro.harness.build import assign_ports, build_p4update_network

@@ -8,7 +8,6 @@ import numpy as np
 import pytest
 
 from repro.consistency import LiveChecker
-from repro.core.messages import UpdateType
 from repro.harness.build import build_p4update_network
 from repro.harness.scenarios import multi_flow_scenario
 from repro.params import SimParams

@@ -1,7 +1,6 @@
 """Unit tests for the uniform completion metric
 (:func:`repro.harness.experiment.path_establishment_time`)."""
 
-import pytest
 
 from repro.harness.experiment import path_establishment_time
 from repro.sim.trace import KIND_RULE_CHANGE, Trace

@@ -10,7 +10,7 @@ from repro.harness.scenarios import (
     single_flow_scenario,
 )
 from repro.params import DelayDistribution, SimParams
-from repro.topo import b4_topology, fig1_topology, internet2_topology, ring_topology
+from repro.topo import b4_topology, fig1_topology, internet2_topology
 from repro.traffic.flows import FlowSet
 
 
@@ -45,7 +45,6 @@ def test_multi_flow_scenario_feasible_near_capacity():
     scenario = multi_flow_scenario(topo, np.random.default_rng(2))
     assert len(scenario.flows) >= 10
     flow_set = FlowSet(scenario.flows)
-    caps = {frozenset((e.a, e.b)): e.capacity for e in topo.edges}
     for which in ("old", "new"):
         loads = flow_set.link_load(which, directed=True)
         for (a, b), load in loads.items():

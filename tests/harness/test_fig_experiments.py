@@ -3,7 +3,7 @@
 import pytest
 
 from repro.harness.fig_experiments import run_fig2, run_fig4
-from repro.harness.scenarios import FastForwardScenario, InconsistentUpdateScenario
+from repro.harness.scenarios import InconsistentUpdateScenario
 from repro.params import DelayDistribution, SimParams
 
 

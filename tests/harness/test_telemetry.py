@@ -1,6 +1,5 @@
 """Tests for the deployment telemetry surface."""
 
-import pytest
 
 from repro.core.messages import UpdateType
 from repro.harness.build import build_p4update_network

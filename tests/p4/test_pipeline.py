@@ -8,7 +8,7 @@ from repro.p4.switch import P4Switch
 from repro.p4.tables import Table, TableEntry
 from repro.params import DelayDistribution, SimParams
 from repro.sim.engine import Engine
-from repro.sim.links import ControlChannel, Link
+from repro.sim.links import Link
 from repro.sim.network import Network
 from repro.sim.node import Node
 

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.topo import ring_topology
-from repro.topo.graph import Topology
 from repro.traffic.flows import Flow, FlowSet, flow_hash
 from repro.traffic.gravity import gravity_flow_sizes, gravity_matrix
 from repro.traffic.paths import k_shortest_paths
