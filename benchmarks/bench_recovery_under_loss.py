@@ -5,14 +5,22 @@ Sweeps the data-plane drop probability and measures (a) how often the
 Fig. 1 update completes without recovery and (b) the completion time
 with the §11 watchdog + controller re-trigger enabled.  Consistency
 must hold at every drop rate regardless of completion (§5-ii).
+
+A second section exercises the repro.chaos recovery path: the
+acceptance campaign (mid-update link failure + switch crash/restart +
+20% UNM loss with reliable control delivery) must complete with zero
+violations and a seed-stable trace signature; its fault/retry/recovery
+counters land in the manifest as the regression baseline.
 """
 
 import numpy as np
 from benchutils import emit_manifest, print_header
 
+from repro.chaos import FaultCampaign, MessageFaultSpec, TopoEvent, run_campaign
 from repro.consistency import LiveChecker
 from repro.core.messages import UpdateType
 from repro.harness.build import build_p4update_network
+from repro.obs import make_obs
 from repro.params import SimParams
 from repro.sim.faults import FaultModel
 from repro.topo import fig1_topology
@@ -22,13 +30,30 @@ from repro.traffic.flows import Flow
 DROP_RATES = (0.0, 0.1, 0.2, 0.3)
 RUNS = 10
 
+CHAOS_CAMPAIGN = FaultCampaign(
+    name="bench_recovery",
+    topology="fig1",
+    seed=42,
+    horizon_ms=30_000.0,
+    update_at_ms=10.0,
+    reliable_control=True,
+    unm_timeout_ms=200.0,
+    controller_update_timeout_ms=2_000.0,
+    events=(
+        TopoEvent(time_ms=12.0, kind="link_down", node_a="v4", node_b="v2"),
+        TopoEvent(time_ms=40.0, kind="switch_crash", node_a="v5"),
+        TopoEvent(time_ms=400.0, kind="switch_restart", node_a="v5"),
+    ),
+    message_faults=(MessageFaultSpec(plane="data", drop_prob=0.2, scope="unm"),),
+)
 
-def one_run(seed: int, drop: float, recovery: bool):
+
+def one_run(seed: int, drop: float, recovery: bool, obs=None):
     params = SimParams(
         seed=seed,
         controller_update_timeout_ms=500.0 if recovery else 0.0,
     )
-    dep = build_p4update_network(fig1_topology(), params=params)
+    dep = build_p4update_network(fig1_topology(), params=params, obs=obs)
     if drop > 0:
         dep.network.fault_model = FaultModel(
             rng=np.random.default_rng(seed ^ 0xBEEF),
@@ -89,16 +114,50 @@ def test_recovery_under_unm_loss(benchmark):
     assert by_key[(0.3, True)][0] >= by_key[(0.3, False)][0] + 3
     assert by_key[(0.2, True)][0] >= by_key[(0.2, False)][0] + 3
 
+    # One obs-instrumented run at heavy loss so the manifest carries
+    # the watchdog/fault counters, not just completion booleans.
+    obs = make_obs()
+    one_run(0, 0.3, recovery=True, obs=obs)
+    metrics = obs.metrics
+    loss_counters = {
+        "unm_dropped": metrics.total("messages_dropped"),
+        "update_retriggers": metrics.total("update_retriggers"),
+        "controller_alarms": metrics.total("controller_alarms"),
+        "fault_injections_dropped": metrics.value(
+            "fault_injections", plane="data", action="dropped"
+        ),
+    }
+
+    # Chaos campaign: topology failures + loss, recovery end-to-end.
+    chaos_obs = make_obs()
+    chaos = run_campaign(CHAOS_CAMPAIGN, obs=chaos_obs)
+    repeat = run_campaign(CHAOS_CAMPAIGN)
+    print_header("Chaos campaign — link failure + crash/restart + 20% UNM loss")
+    print(chaos.summary())
+    print(f"retransmissions={chaos.retransmissions} reroutes={chaos.reroutes} "
+          f"faults={chaos.fault_counts}")
+    assert chaos.completed and chaos.consistent, chaos.violations[:3]
+    assert chaos.trace_signature == repeat.trace_signature, "chaos must be seeded"
+
     emit_manifest(
         "recovery_under_loss",
-        params={"drop_rates": list(DROP_RATES), "runs": RUNS},
+        params={
+            "drop_rates": list(DROP_RATES),
+            "runs": RUNS,
+            "chaos_campaign": CHAOS_CAMPAIGN.to_dict(),
+        },
         results={
-            f"drop_{drop}_recovery_{recovery}": {
-                "completed": completions,
-                "mean_ms": float(np.mean(durations)) if durations else None,
-                "consistent": consistent,
-            }
-            for drop, recovery, completions, durations, consistent in rows
+            **{
+                f"drop_{drop}_recovery_{recovery}": {
+                    "completed": completions,
+                    "mean_ms": float(np.mean(durations)) if durations else None,
+                    "consistent": consistent,
+                }
+                for drop, recovery, completions, durations, consistent in rows
+            },
+            "instrumented_loss_counters": loss_counters,
+            "chaos_campaign": chaos.to_results(),
         },
         seed=0,
+        obs=chaos_obs,
     )

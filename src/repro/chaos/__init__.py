@@ -1,0 +1,37 @@
+"""Topology-level fault injection and recovery (paper §11).
+
+The subsystem has four parts:
+
+* failure events in the sim layer (:mod:`repro.sim.network`):
+  link down/up, switch crash/restart, controller outage windows;
+* reliable control delivery (:mod:`repro.chaos.reliable`):
+  sequence-numbered sends with ack tracking, seeded exponential
+  backoff and receiver-side dedup;
+* controller recovery (:mod:`repro.core.controller`): abort affected
+  pending updates with Flow-DB rollback, reroute around the failed
+  element, or park the flow with a structured report;
+* declarative chaos campaigns (:mod:`repro.chaos.campaign`) executed
+  by :mod:`repro.chaos.runner` and the ``repro chaos`` CLI.
+"""
+
+from repro.chaos.campaign import (
+    FaultCampaign,
+    MessageFaultSpec,
+    TopoEvent,
+    load_campaign,
+    load_campaign_file,
+)
+from repro.chaos.reliable import ReliableControlSender
+from repro.chaos.runner import CampaignResult, run_campaign, trace_signature
+
+__all__ = [
+    "CampaignResult",
+    "FaultCampaign",
+    "MessageFaultSpec",
+    "ReliableControlSender",
+    "TopoEvent",
+    "load_campaign",
+    "load_campaign_file",
+    "run_campaign",
+    "trace_signature",
+]

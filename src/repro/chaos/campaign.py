@@ -1,0 +1,209 @@
+"""Declarative chaos campaigns: dataclasses + JSON loader.
+
+A :class:`FaultCampaign` describes one seeded robustness experiment:
+the topology and workload, probabilistic message faults per plane,
+scheduled topology events (link failures, switch crashes, controller
+outages) and the protocol knobs that govern recovery.  Campaigns are
+plain data — :mod:`repro.chaos.runner` executes them, and the
+``repro chaos run`` CLI loads them from JSON files (see
+``examples/chaos_smoke.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Optional
+
+TOPO_EVENT_KINDS = (
+    "link_down",
+    "link_up",
+    "switch_crash",
+    "switch_restart",
+    "controller_down",
+    "controller_up",
+)
+
+MESSAGE_SCOPES = ("all", "unm", "probe", "cleanup", "uim", "ufm")
+
+
+@dataclass(frozen=True)
+class TopoEvent:
+    """One scheduled topology failure or repair.
+
+    ``node_a``/``node_b`` name the link endpoints for link events;
+    switch and controller events use ``node_a`` only (controller
+    events need neither).  ``preserve_state`` overrides the campaign's
+    crash register policy for this one crash.
+    """
+
+    time_ms: float
+    kind: str
+    node_a: str = ""
+    node_b: str = ""
+    preserve_state: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPO_EVENT_KINDS:
+            raise ValueError(
+                f"unknown topology event kind {self.kind!r}; "
+                f"expected one of {TOPO_EVENT_KINDS}"
+            )
+        if self.kind.startswith("link_") and not (self.node_a and self.node_b):
+            raise ValueError(f"{self.kind} needs node_a and node_b")
+        if self.kind.startswith("switch_") and not self.node_a:
+            raise ValueError(f"{self.kind} needs node_a")
+
+
+@dataclass(frozen=True)
+class MessageFaultSpec:
+    """Probabilistic message faults for one plane, optionally scoped.
+
+    ``scope`` restricts which messages are eligible: P4 header names
+    (``unm``/``probe``/``cleanup``) on the data plane, message classes
+    (``uim``/``ufm``) on the control plane, or ``all``.  ``corruptor``
+    names a registered mutation (see :data:`CORRUPTORS`) and is
+    required when ``corrupt_prob`` > 0.
+    """
+
+    plane: str = "data"
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_ms: float = 0.0
+    duplicate_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    corruptor: str = ""
+    scope: str = "all"
+
+    def __post_init__(self) -> None:
+        if self.plane not in ("data", "control"):
+            raise ValueError(f"unknown plane {self.plane!r}")
+        if self.scope not in MESSAGE_SCOPES:
+            raise ValueError(
+                f"unknown scope {self.scope!r}; expected one of {MESSAGE_SCOPES}"
+            )
+        if self.corrupt_prob > 0 and self.corruptor not in CORRUPTORS:
+            raise ValueError(
+                f"corrupt_prob set but corruptor {self.corruptor!r} is not "
+                f"registered; known: {sorted(CORRUPTORS)}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultCampaign:
+    """One complete, seeded chaos experiment description."""
+
+    name: str
+    topology: str = "fig1"
+    scenario: str = "single"          # single | multi
+    seed: int = 0
+    horizon_ms: float = 60_000.0
+    update_at_ms: float = 10.0        # when the reroute is triggered
+    update_type: str = "auto"         # auto | single | dual
+    events: tuple[TopoEvent, ...] = ()
+    message_faults: tuple[MessageFaultSpec, ...] = ()
+    # Protocol recovery knobs (mirror SimParams).
+    reliable_control: bool = False
+    unm_timeout_ms: float = 0.0
+    controller_update_timeout_ms: float = 0.0
+    crash_preserves_state: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.scenario not in ("single", "multi"):
+            raise ValueError(f"unknown scenario {self.scenario!r}")
+        if self.update_type not in ("auto", "single", "dual"):
+            raise ValueError(f"unknown update_type {self.update_type!r}")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def load_campaign(data: dict) -> FaultCampaign:
+    """Build a campaign from a plain (JSON-decoded) dict."""
+    payload = dict(data)
+    events = tuple(TopoEvent(**e) for e in payload.pop("events", []))
+    faults = tuple(
+        MessageFaultSpec(**f) for f in payload.pop("message_faults", [])
+    )
+    return FaultCampaign(events=events, message_faults=faults, **payload)
+
+
+def load_campaign_file(path: str) -> FaultCampaign:
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_campaign(json.load(handle))
+
+
+# -- registered corruptors ---------------------------------------------------
+#
+# Named mutations so campaigns can request corruption declaratively.
+# Each receives a deep copy of the in-flight message and returns the
+# mutated payload.
+
+
+def _corrupt_unm_distance(message: Any) -> Any:
+    """Skew the UNM's distance field: breaks the §7.1 distance check
+    (D(UIM) == D(UNM) + 1) at the receiver, which must reject."""
+    has_valid = getattr(message, "has_valid", None)
+    if callable(has_valid) and has_valid("unm"):
+        header = message.header("unm")
+        header["new_distance"] = (header["new_distance"] + 7) % (1 << 16)
+    return message
+
+
+def _corrupt_unm_version(message: Any) -> Any:
+    """Rewind the UNM's version: the receiver sees a stale update and
+    must drop it (Alg. 1 line 6 / Alg. 2)."""
+    has_valid = getattr(message, "has_valid", None)
+    if callable(has_valid) and has_valid("unm"):
+        header = message.header("unm")
+        header["new_version"] = max(0, header["new_version"] - 1)
+    return message
+
+
+CORRUPTORS: dict[str, Callable[[Any], Any]] = {
+    "unm_distance_skew": _corrupt_unm_distance,
+    "unm_version_rewind": _corrupt_unm_version,
+}
+
+
+# -- message scope selectors -------------------------------------------------
+
+
+def scope_selector(scope: str) -> Optional[Callable[[Any], bool]]:
+    """Predicate limiting a fault spec to one message family."""
+    if scope == "all":
+        return None
+    if scope in ("unm", "probe", "cleanup"):
+
+        def packet_scope(message: Any) -> bool:
+            has_valid = getattr(message, "has_valid", None)
+            return callable(has_valid) and bool(has_valid(scope))
+
+        return packet_scope
+
+    def control_scope(message: Any) -> bool:
+        from repro.core.messages import UFM, UIM, Sequenced
+
+        wanted: type = UIM if scope == "uim" else UFM
+        if isinstance(message, Sequenced):
+            return isinstance(message.inner, wanted)
+        return isinstance(message, wanted)
+
+    return control_scope
+
+
+__all__ = [
+    "CORRUPTORS",
+    "FaultCampaign",
+    "MESSAGE_SCOPES",
+    "MessageFaultSpec",
+    "TOPO_EVENT_KINDS",
+    "TopoEvent",
+    "load_campaign",
+    "load_campaign_file",
+    "scope_selector",
+]

@@ -1,0 +1,125 @@
+"""The ``chaos`` CLI subcommand: run / validate fault campaigns.
+
+Wired into :mod:`repro.harness.cli`; kept here so the harness stays a
+thin argument-parsing layer.
+
+* ``chaos run <spec.json> [--runs N]`` — execute a campaign N times
+  with the same seed and assert (a) zero consistency violations on
+  every run, (b) every flow either completed or parked with a report,
+  and (c) bit-identical event-trace signatures across runs (the
+  determinism contract).  Exits 1 when any of the three fails.
+* ``chaos validate <spec.json>`` — load and echo a campaign without
+  running it; exits 1 on schema errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chaos.campaign import FaultCampaign
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    handler = {
+        "run": _cmd_run,
+        "validate": _cmd_validate,
+    }[args.chaos_command]
+    return handler(args)
+
+
+def _load(path: str) -> Optional["FaultCampaign"]:
+    from repro.chaos.campaign import load_campaign_file
+
+    try:
+        return load_campaign_file(path)
+    except (OSError, ValueError, TypeError, KeyError) as exc:
+        print(f"error: cannot load campaign {path!r}: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.chaos.runner import CampaignResult, run_campaign
+    from repro.obs import make_obs
+
+    campaign = _load(args.spec)
+    if campaign is None:
+        return 1
+    if campaign.description:
+        print(f"# {campaign.description}")
+
+    results: list[CampaignResult] = []
+    for i in range(args.runs):
+        result = run_campaign(
+            campaign,
+            obs=make_obs() if args.obs else None,
+            emit_manifest=args.manifest and i == 0,
+            out_dir=args.out_dir,
+        )
+        results.append(result)
+        print(f"run {i + 1}/{args.runs}: {result.summary()}")
+
+    ok = True
+    for result in results:
+        if not result.consistent:
+            ok = False
+            for violation in result.violations:
+                print(
+                    f"VIOLATION t={violation['time']:.3f} "
+                    f"{violation['kind']} flow={violation['flow_id']}: "
+                    f"{violation['detail']}"
+                )
+        if not result.completed:
+            ok = False
+            stuck = result.flows_total - result.flows_completed - result.flows_parked
+            print(f"INCOMPLETE: {stuck} flow(s) neither completed nor parked")
+    signatures = {result.trace_signature for result in results}
+    if len(signatures) > 1:
+        ok = False
+        print(f"NON-DETERMINISTIC: {len(signatures)} distinct trace signatures")
+    for report in results[0].parked_reports:
+        print(
+            f"parked flow {report['flow_id']} at {report['time_ms']:.1f} ms: "
+            f"{report['reason']} (failed edges: {report['failed_edges']})"
+        )
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    campaign = _load(args.spec)
+    if campaign is None:
+        return 1
+    print(campaign.to_json())
+    return 0
+
+
+def add_chaos_parser(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "chaos", help="robustness: run fault-injection campaigns"
+    )
+    chaos_sub = parser.add_subparsers(dest="chaos_command", required=True)
+    prun = chaos_sub.add_parser(
+        "run", help="execute a campaign and assert invariants + determinism"
+    )
+    prun.add_argument("spec", help="path to a campaign JSON file")
+    prun.add_argument(
+        "--runs", type=int, default=2,
+        help="same-seed repetitions for the determinism check (default 2)",
+    )
+    prun.add_argument(
+        "--obs", action="store_true",
+        help="instrument runs with live metrics (fault/retry/recovery counters)",
+    )
+    prun.add_argument(
+        "--manifest", action="store_true",
+        help="write a BENCH_-style manifest for the first run",
+    )
+    prun.add_argument(
+        "--out-dir", default=None,
+        help="directory for the manifest (default: benchmarks/baselines)",
+    )
+    pval = chaos_sub.add_parser("validate", help="load and echo a campaign spec")
+    pval.add_argument("spec", help="path to a campaign JSON file")

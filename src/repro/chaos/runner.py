@@ -1,0 +1,358 @@
+"""Executes :class:`~repro.chaos.campaign.FaultCampaign` descriptions.
+
+A campaign run is fully deterministic in its seed: the deployment, the
+workload, every fault model and every topology event derive their
+randomness from ``campaign.seed``, and :func:`trace_signature` hashes
+the complete event trace so two runs can be compared bit-for-bit.
+
+The runner asserts the paper's §5 invariants throughout via
+:class:`~repro.consistency.checker.LiveChecker` (failure-aware: a
+physically broken flow is disarmed, see the checker's docstring) and
+reports completions, parked flows, fault/retry/recovery activity and
+the trace signature in a :class:`CampaignResult`, optionally emitting
+a ``BENCH_``-style manifest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.chaos.campaign import (
+    CORRUPTORS,
+    FaultCampaign,
+    MessageFaultSpec,
+    TopoEvent,
+    scope_selector,
+)
+from repro.consistency.checker import LiveChecker
+from repro.core.messages import UpdateType
+from repro.harness.build import P4UpdateDeployment, build_p4update_network
+from repro.harness.scenarios import (
+    UpdateScenario,
+    multi_flow_scenario,
+    single_flow_scenario,
+)
+from repro.obs.context import NULL_OBS, ObsContext
+from repro.obs.manifest import write_manifest
+from repro.p4.packet import reset_packet_ids
+from repro.params import SimParams
+from repro.sim.faults import CompositeFaultModel, FaultModel, FaultPolicy
+from repro.sim.trace import Trace
+from repro.topo.attmpls import attmpls_topology
+from repro.topo.b4 import b4_topology
+from repro.topo.chinanet import chinanet_topology
+from repro.topo.fattree import fattree_topology
+from repro.topo.graph import Topology
+from repro.topo.internet2 import internet2_topology
+from repro.topo.synthetic import fig1_topology, fig2_topology
+
+TOPOLOGIES: dict[str, Callable[[], Topology]] = {
+    "fig1": fig1_topology,
+    "fig2": fig2_topology,
+    "b4": b4_topology,
+    "internet2": internet2_topology,
+    "chinanet": chinanet_topology,
+    "attmpls": attmpls_topology,
+    "fattree4": lambda: fattree_topology(4),
+}
+
+UPDATE_TYPES = {
+    "auto": None,
+    "single": UpdateType.SINGLE,
+    "dual": UpdateType.DUAL,
+}
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced."""
+
+    campaign: str
+    seed: int
+    flows_total: int
+    flows_completed: int
+    flows_parked: int
+    parked_reports: list[dict]
+    violations: list[dict]
+    trace_signature: str
+    sim_time_ms: float
+    events_processed: int
+    fault_counts: dict[str, dict[str, int]] = field(default_factory=dict)
+    retransmissions: int = 0
+    retry_exhausted: int = 0
+    reroutes: int = 0
+    topo_events: int = 0
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+    @property
+    def completed(self) -> bool:
+        """Every flow either completed or is parked with a report."""
+        return self.flows_completed + self.flows_parked >= self.flows_total
+
+    def to_results(self) -> dict:
+        return {
+            "flows_total": self.flows_total,
+            "flows_completed": self.flows_completed,
+            "flows_parked": self.flows_parked,
+            "parked_reports": self.parked_reports,
+            "violations": self.violations,
+            "consistent": self.consistent,
+            "completed": self.completed,
+            "trace_signature": self.trace_signature,
+            "sim_time_ms": self.sim_time_ms,
+            "events_processed": self.events_processed,
+            "fault_counts": self.fault_counts,
+            "retransmissions": self.retransmissions,
+            "retry_exhausted": self.retry_exhausted,
+            "reroutes": self.reroutes,
+            "topo_events": self.topo_events,
+        }
+
+    def summary(self) -> str:
+        status = "CONSISTENT" if self.consistent else "VIOLATIONS"
+        return (
+            f"{self.campaign}: {self.flows_completed}/{self.flows_total} flows "
+            f"completed, {self.flows_parked} parked, "
+            f"{len(self.violations)} violations [{status}], "
+            f"signature {self.trace_signature[:16]}"
+        )
+
+
+def trace_signature(trace: Trace) -> str:
+    """SHA-256 over the formatted event trace (determinism probe)."""
+    digest = hashlib.sha256()
+    for event in trace:
+        line = (
+            f"{event.time!r}|{event.kind}|{event.node}|"
+            f"{sorted(event.detail.items())!r}\n"
+        )
+        digest.update(line.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def build_fault_policy(
+    specs: list[MessageFaultSpec], seed: int, plane_index: int
+) -> Optional[FaultPolicy]:
+    """Seeded fault models for one plane; composed when several."""
+    models: list[FaultPolicy] = []
+    for i, spec in enumerate(specs):
+        rng = np.random.default_rng([seed, 0xFA017, plane_index, i])
+        models.append(
+            FaultModel(
+                rng=rng,
+                drop_prob=spec.drop_prob,
+                delay_prob=spec.delay_prob,
+                delay_ms=spec.delay_ms,
+                duplicate_prob=spec.duplicate_prob,
+                corrupt_prob=spec.corrupt_prob,
+                corruptor=CORRUPTORS.get(spec.corruptor),
+                selector=scope_selector(spec.scope),
+            )
+        )
+    if not models:
+        return None
+    if len(models) == 1:
+        return models[0]
+    return CompositeFaultModel(models)
+
+
+def campaign_params(campaign: FaultCampaign) -> SimParams:
+    return SimParams(
+        seed=campaign.seed,
+        reliable_control=campaign.reliable_control,
+        controller_update_timeout_ms=campaign.controller_update_timeout_ms,
+        crash_preserves_state=campaign.crash_preserves_state,
+        max_sim_time_ms=campaign.horizon_ms,
+    )
+
+
+def build_campaign_deployment(
+    campaign: FaultCampaign, obs: Optional[ObsContext] = None
+) -> tuple[P4UpdateDeployment, UpdateScenario, LiveChecker]:
+    """Construct the deployment, workload and checker for a campaign.
+
+    Everything is wired but nothing is scheduled yet; use
+    :func:`run_campaign` for a complete execution."""
+    obs = obs if obs is not None else NULL_OBS
+    reset_packet_ids()
+    factory = TOPOLOGIES.get(campaign.topology)
+    if factory is None:
+        raise ValueError(
+            f"unknown topology {campaign.topology!r}; known: {sorted(TOPOLOGIES)}"
+        )
+    topo = factory()
+    params = campaign_params(campaign)
+    deployment = build_p4update_network(
+        topo, params=params, rng=np.random.default_rng(campaign.seed), obs=obs
+    )
+    scenario_rng = np.random.default_rng([campaign.seed, 0x5CE2])
+    if campaign.scenario == "single":
+        scenario = single_flow_scenario(topo, rng=scenario_rng)
+    else:
+        scenario = multi_flow_scenario(topo, rng=scenario_rng)
+    for flow in scenario.flows:
+        deployment.install_flow(flow)
+    if campaign.unm_timeout_ms > 0:
+        for switch in deployment.switches.values():
+            switch.unm_timeout_ms = campaign.unm_timeout_ms
+    checker = LiveChecker(deployment.forwarding_state, deployment.network.trace)
+    return deployment, scenario, checker
+
+
+def _apply_topo_event(deployment: P4UpdateDeployment, event: TopoEvent) -> None:
+    network = deployment.network
+    if event.kind == "link_down":
+        network.set_link_state(event.node_a, event.node_b, up=False)
+    elif event.kind == "link_up":
+        network.set_link_state(event.node_a, event.node_b, up=True)
+    elif event.kind == "switch_crash":
+        preserve = event.preserve_state
+        if preserve is None:
+            preserve = deployment.params.crash_preserves_state
+        network.crash_switch(event.node_a, preserve_state=preserve)
+    elif event.kind == "switch_restart":
+        network.restart_switch(event.node_a)
+    elif event.kind == "controller_down":
+        network.set_controller_outage(True)
+    elif event.kind == "controller_up":
+        network.set_controller_outage(False)
+
+
+def _trigger_updates(
+    deployment: P4UpdateDeployment,
+    scenario: UpdateScenario,
+    update_type: Optional[UpdateType],
+) -> None:
+    for flow in scenario.flows:
+        if flow.new_path is None:
+            continue
+        record = deployment.controller.flow_db.get(flow.flow_id)
+        if record is not None and record.parked:
+            continue  # already parked by an earlier failure
+        deployment.controller.update_flow(
+            flow.flow_id, list(flow.new_path), update_type
+        )
+
+
+def run_campaign(
+    campaign: FaultCampaign,
+    obs: Optional[ObsContext] = None,
+    emit_manifest: bool = False,
+    out_dir: Optional[str] = None,
+) -> CampaignResult:
+    """Execute one seeded campaign run end-to-end."""
+    obs = obs if obs is not None else NULL_OBS
+    deployment, scenario, checker = build_campaign_deployment(campaign, obs=obs)
+    network = deployment.network
+    engine = network.engine
+
+    data_specs = [s for s in campaign.message_faults if s.plane == "data"]
+    control_specs = [s for s in campaign.message_faults if s.plane == "control"]
+    data_model = build_fault_policy(data_specs, campaign.seed, 0)
+    control_model = build_fault_policy(control_specs, campaign.seed, 1)
+    if data_model is not None:
+        network.fault_model = data_model
+    if control_model is not None:
+        network.control_fault_model = control_model
+
+    if campaign.events:
+        # Arm in-flight tracking before any message is sent so link
+        # failures can lose messages already on the wire.
+        network.enable_chaos()
+        for event in campaign.events:
+            engine.schedule_at(event.time_ms, _apply_topo_event, deployment, event)
+
+    engine.schedule_at(
+        campaign.update_at_ms,
+        _trigger_updates,
+        deployment,
+        scenario,
+        UPDATE_TYPES[campaign.update_type],
+    )
+
+    deployment.run(until=campaign.horizon_ms)
+
+    controller = deployment.controller
+    flows_completed = sum(
+        1
+        for flow in scenario.flows
+        if controller.update_complete(flow.flow_id)
+        and not controller.flow_db[flow.flow_id].parked
+    )
+    flows_parked = sum(
+        1 for flow in scenario.flows if controller.flow_db[flow.flow_id].parked
+    )
+    fault_counts: dict[str, dict[str, int]] = {}
+    for plane, model in (("data", data_model), ("control", control_model)):
+        if model is None:
+            continue
+        fault_counts[plane] = _fault_counts(model)
+
+    result = CampaignResult(
+        campaign=campaign.name,
+        seed=campaign.seed,
+        flows_total=len(scenario.flows),
+        flows_completed=flows_completed,
+        flows_parked=flows_parked,
+        parked_reports=[report.to_dict() for report in controller.parked],
+        violations=[
+            {
+                "time": v.time,
+                "kind": v.kind,
+                "flow_id": v.flow_id,
+                "detail": v.detail,
+            }
+            for v in checker.violations
+        ],
+        trace_signature=trace_signature(network.trace),
+        sim_time_ms=engine.now,
+        events_processed=engine.processed_events,
+        fault_counts=fault_counts,
+        retransmissions=(
+            controller.reliable.retransmissions
+            if controller.reliable is not None
+            else 0
+        ),
+        retry_exhausted=(
+            controller.reliable.exhausted if controller.reliable is not None else 0
+        ),
+        reroutes=int(
+            obs.metrics.value("flow_reroutes", node=controller.name) or 0
+        )
+        if obs.enabled
+        else len(network.trace.of_kind("update_aborted")),
+        topo_events=len(campaign.events),
+    )
+
+    if emit_manifest:
+        write_manifest(
+            f"chaos_{campaign.name}",
+            params=campaign.to_dict(),
+            results=result.to_results(),
+            seed=campaign.seed,
+            obs=obs if obs.enabled else None,
+            out_dir=out_dir,
+        )
+    return result
+
+
+def _fault_counts(model: FaultPolicy) -> dict[str, int]:
+    if isinstance(model, CompositeFaultModel):
+        totals = {"dropped": 0, "corrupted": 0, "duplicated": 0, "delayed": 0}
+        for member in model.faults:
+            for key, value in _fault_counts(member).items():
+                totals[key] += value
+        return totals
+    return {
+        "dropped": int(getattr(model, "dropped", 0)),
+        "corrupted": int(getattr(model, "corrupted", 0)),
+        "duplicated": int(getattr(model, "duplicated", 0)),
+        "delayed": int(getattr(model, "delayed", 0)),
+    }

@@ -20,7 +20,12 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.consistency.state import ForwardingState
-from repro.sim.trace import KIND_RULE_CHANGE, Trace
+from repro.sim.trace import (
+    KIND_LINK_DOWN,
+    KIND_RULE_CHANGE,
+    KIND_SWITCH_CRASH,
+    Trace,
+)
 
 
 @dataclass
@@ -132,15 +137,44 @@ class LiveChecker:
     are being sent on a not-yet-established flow).  A flow therefore
     only participates in blackhole checks once it has been deliverable
     at least once (``armed``).  Loop and congestion checks always apply.
+
+    Topology failures (repro.chaos) are *environmental*, not protocol
+    violations: when a link goes down or a switch crashes, every flow
+    whose delivered walk traversed the failed element is disarmed — it
+    is physically broken, and the gap until the controller reroutes it
+    must not count as a protocol blackhole.  The flow re-arms the
+    moment a complete path exists again, after which blackhole
+    detection applies as before.
     """
 
     def __init__(self, state: ForwardingState, trace: Trace) -> None:
         self.state = state
         self.violations: list[Violation] = []
-        self._armed: set[int] = set()
+        self._armed: set[tuple[int, str]] = set()
         trace.subscribe(self._on_event)
 
+    def _disarm_through(self, node: Optional[str], edge: Optional[frozenset]) -> None:
+        """Disarm flows whose current walk crosses the failed element."""
+        for key in list(self._armed):
+            flow_id, ingress = key
+            path, _ = self.state.walk(flow_id, ingress=ingress)
+            if node is not None and node in path:
+                self._armed.discard(key)
+                continue
+            if edge is not None and any(
+                frozenset(pair) == edge for pair in zip(path, path[1:])
+            ):
+                self._armed.discard(key)
+
     def _on_event(self, event) -> None:
+        if event.kind == KIND_LINK_DOWN:
+            peer = event.detail.get("peer")
+            if peer is not None:
+                self._disarm_through(None, frozenset((event.node, peer)))
+            return
+        if event.kind == KIND_SWITCH_CRASH:
+            self._disarm_through(event.node, None)
+            return
         if event.kind != KIND_RULE_CHANGE:
             return
         time = event.time

@@ -16,20 +16,36 @@ scheduler in the data plane.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
+import networkx as nx
 import numpy as np
 
 from repro.core.labeling import VersionAllocator, distance_labels
-from repro.core.messages import FRM, UFM, UIM, TagFlip, UpdateType
+from repro.core.messages import (
+    FRM,
+    UFM,
+    UIM,
+    ControlAck,
+    PortStatus,
+    TagFlip,
+    UpdateType,
+)
 from repro.core.registers import LOCAL_DELIVER_PORT
 from repro.core.segmentation import compute_gateways, compute_segments
 from repro.core.strategy import choose_update_type
 from repro.params import SimParams
 from repro.sim.node import Node
-from repro.sim.trace import KIND_UPDATE_DONE
+from repro.sim.trace import (
+    KIND_FLOW_PARKED,
+    KIND_UPDATE_ABORTED,
+    KIND_UPDATE_DONE,
+)
 from repro.topo.graph import Topology
 from repro.traffic.flows import Flow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.reliable import ReliableControlSender
 
 
 @dataclass
@@ -47,6 +63,36 @@ class FlowRecord:
     # §11 2-phase-commit state.
     current_tag: int = 0
     staged_tag: Optional[int] = None
+    # §11 failure recovery (repro.chaos): when a topology failure hit
+    # the flow, the instant recovery started (for the recovery-latency
+    # histogram) and whether the flow is parked awaiting repair.
+    recovering_since: Optional[float] = None
+    parked: bool = False
+
+
+@dataclass(frozen=True)
+class ParkReport:
+    """Structured report for a flow with no alternate path (§11).
+
+    Emitted when recovery cannot reroute around a failure; the flow
+    stays in the Flow DB and is retried when the topology heals."""
+
+    flow_id: int
+    time_ms: float
+    reason: str
+    src: str
+    dst: str
+    failed_edges: tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "flow_id": self.flow_id,
+            "time_ms": self.time_ms,
+            "reason": self.reason,
+            "src": self.src,
+            "dst": self.dst,
+            "failed_edges": list(self.failed_edges),
+        }
 
 
 @dataclass(frozen=True)
@@ -86,6 +132,15 @@ class P4UpdateController(Node):
         self._port_cache: dict[tuple[str, str], int] = {}
         # §11 destination-tree updates (set by DestinationTreeManager).
         self.tree_manager = None
+        # -- §11 failure recovery (repro.chaos) -------------------------
+        # Edges the NIB currently believes are down (learned from
+        # PortStatus reports or reliable-delivery escalation).
+        self.failed_edges: set[frozenset[str]] = set()
+        # Structured reports for flows recovery could not reroute.
+        self.parked: list[ParkReport] = []
+        # Reliable control sender, created lazily when
+        # params.reliable_control is on.
+        self.reliable: Optional["ReliableControlSender"] = None
 
     # -- controller service model ----------------------------------------------
 
@@ -205,7 +260,7 @@ class P4UpdateController(Node):
                 len(prepared.uims)
             )
         for uim in prepared.uims:
-            self.send_control(uim)
+            self._send_to_switch(uim)
         timeout = self.params.controller_update_timeout_ms
         if timeout > 0:
             self.engine.schedule(
@@ -334,6 +389,179 @@ class P4UpdateController(Node):
         self.push_update(prepared)
         return prepared
 
+    # -- reliable control delivery (repro.chaos) ---------------------------
+
+    def _send_to_switch(self, message: Any) -> None:
+        """Send a switch-bound message, reliably when configured.
+
+        With ``params.reliable_control`` off this is a plain
+        ``send_control`` — byte-identical to the pre-chaos behavior."""
+        if not self.params.reliable_control:
+            self.send_control(message)
+            return
+        if self.reliable is None:
+            from repro.chaos.reliable import ReliableControlSender
+
+            self.reliable = ReliableControlSender(
+                self,
+                np.random.default_rng([self.params.seed, 0xC7A05]),
+                timeout_ms=self.params.control_retry_timeout_ms,
+                backoff=self.params.control_retry_backoff,
+                jitter_ms=self.params.control_retry_jitter_ms,
+                max_retries=self.params.control_max_retries,
+                on_exhausted=self._on_control_exhausted,
+            )
+        self.reliable.send(message)
+
+    def _on_control_exhausted(self, message: Any) -> None:
+        """The retry budget for a switch ran out: escalate.
+
+        The target switch is treated as unreachable — every edge at it
+        is marked failed in the NIB and affected flows are recovered
+        around it (or parked)."""
+        target = getattr(message, "target", None)
+        if target is None:
+            return
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "control_escalations", node=self.name, target=target
+            ).inc()
+        if self.reliable is not None:
+            self.reliable.cancel_target(target)
+        if not self.params.recover_on_failure:
+            return
+        new_edges = []
+        for neighbor in self.topology.neighbors(target):
+            edge = frozenset((target, neighbor))
+            if edge not in self.failed_edges:
+                self.failed_edges.add(edge)
+                new_edges.append(edge)
+        for edge in new_edges:
+            self._recover_after_failure(edge)
+
+    # -- §11 failure recovery (repro.chaos) --------------------------------
+
+    def _handle_port_status(self, status: PortStatus) -> None:
+        """NIB update from a switch's port-down/up report.
+
+        Both endpoints of a failed link report; the first report per
+        edge triggers recovery, the rest deduplicate."""
+        edge = frozenset((status.reporter, status.peer))
+        if not status.up:
+            if edge in self.failed_edges:
+                return
+            self.failed_edges.add(edge)
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "nib_updates", node=self.name, kind="port_down"
+                ).inc()
+            if self.params.recover_on_failure:
+                self._recover_after_failure(edge)
+        else:
+            if edge not in self.failed_edges:
+                return
+            self.failed_edges.discard(edge)
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "nib_updates", node=self.name, kind="port_up"
+                ).inc()
+            if self.params.recover_on_failure:
+                self._retry_parked()
+
+    def _working_graph(self) -> "nx.Graph":
+        """The NIB topology minus every edge believed down."""
+        graph = self.topology.graph.copy()
+        for edge in self.failed_edges:
+            a, b = sorted(edge)
+            if graph.has_edge(a, b):
+                graph.remove_edge(a, b)
+        return graph
+
+    @staticmethod
+    def _path_uses(path: list[str], edge: frozenset) -> bool:
+        return any(frozenset(pair) == edge for pair in zip(path, path[1:]))
+
+    def _recover_after_failure(self, edge: frozenset) -> None:
+        """Recover every flow whose current or pending path uses ``edge``."""
+        for flow_id in sorted(self.flow_db):
+            record = self.flow_db[flow_id]
+            pending_hit = record.pending_path is not None and self._path_uses(
+                record.pending_path, edge
+            )
+            if not pending_hit and not self._path_uses(record.current_path, edge):
+                continue
+            self._reroute_flow(record)
+
+    def _reroute_flow(self, record: FlowRecord) -> None:
+        """Abort, recompute around the failure, re-issue — or park.
+
+        The abort reuses the plan-gate rollback path: pending Flow-DB
+        state is cleared and the prepared update dropped, so the flow
+        can be re-prepared under a fresh version."""
+        flow_id = record.flow.flow_id
+        if record.recovering_since is None:
+            record.recovering_since = self.now
+        if record.pending_version is not None:
+            self._prepared.pop((flow_id, record.pending_version), None)
+            aborted_version = record.pending_version
+            record.pending_path = None
+            record.pending_version = None
+            record.staged_tag = None
+            if self.obs.enabled:
+                self.obs.metrics.counter("updates_aborted", node=self.name).inc()
+            if self.network is not None:
+                self.network.trace.record(
+                    self.now, KIND_UPDATE_ABORTED, self.name,
+                    flow=flow_id, version=aborted_version,
+                )
+        src = record.current_path[0]
+        dst = record.current_path[-1]
+        graph = self._working_graph()
+        try:
+            new_path = nx.shortest_path(graph, src, dst, weight="latency_ms")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            self._park_flow(record, "no alternate path")
+            return
+        record.parked = False
+        if list(new_path) == list(record.current_path):
+            # The live path already avoids the failure: aborting the
+            # pending update was all the recovery needed.
+            record.recovering_since = None
+            return
+        if self.obs.enabled:
+            self.obs.metrics.counter("flow_reroutes", node=self.name).inc()
+        prepared = self.prepare_update(flow_id, list(new_path))
+        self.push_update(prepared)
+
+    def _park_flow(self, record: FlowRecord, reason: str) -> None:
+        flow_id = record.flow.flow_id
+        report = ParkReport(
+            flow_id=flow_id,
+            time_ms=self.now,
+            reason=reason,
+            src=record.current_path[0],
+            dst=record.current_path[-1],
+            failed_edges=tuple(
+                sorted("|".join(sorted(edge)) for edge in self.failed_edges)
+            ),
+        )
+        self.parked.append(report)
+        record.parked = True
+        if self.obs.enabled:
+            self.obs.metrics.counter("flows_parked", node=self.name).inc()
+        if self.network is not None:
+            self.network.trace.record(
+                self.now, KIND_FLOW_PARKED, self.name,
+                flow=flow_id, reason=reason,
+            )
+
+    def _retry_parked(self) -> None:
+        """The topology healed (a port came back): retry parked flows."""
+        for flow_id in sorted(self.flow_db):
+            record = self.flow_db[flow_id]
+            if record.parked:
+                self._reroute_flow(record)
+
     # -- feedback ----------------------------------------------------------------------------
 
     def handle_control(self, message: Any, sender: str) -> None:
@@ -341,6 +569,11 @@ class P4UpdateController(Node):
             self.reported_flows.append(message)
         elif isinstance(message, UFM):
             self._handle_ufm(message)
+        elif isinstance(message, PortStatus):
+            self._handle_port_status(message)
+        elif isinstance(message, ControlAck):
+            if self.reliable is not None:
+                self.reliable.ack(message.seq)
 
     def _handle_ufm(self, ufm: UFM) -> None:
         if (
@@ -369,7 +602,7 @@ class P4UpdateController(Node):
                 # 2PC phase 1 complete: every new-tag rule is staged —
                 # tell the ingress to start stamping the new tag.
                 ingress = (record.pending_path or record.current_path)[0]
-                self.send_control(
+                self._send_to_switch(
                     TagFlip(
                         target=ingress,
                         flow_id=ufm.flow_id,
@@ -387,6 +620,17 @@ class P4UpdateController(Node):
             record.pending_path = None
             record.pending_version = None
             record.update_done_at = self.now
+            if record.recovering_since is not None:
+                # §11 recovery: this completion closed a failure-driven
+                # reroute — record how long the flow was degraded.
+                if self.obs.enabled:
+                    self.obs.metrics.counter(
+                        "flow_recoveries", node=self.name
+                    ).inc()
+                    self.obs.metrics.histogram(
+                        "recovery_latency_ms", node=self.name,
+                    ).observe(self.now - record.recovering_since)
+                record.recovering_since = None
             if self.obs.enabled:
                 self.obs.metrics.counter("updates_completed", node=self.name).inc()
                 if record.update_sent_at is not None:
@@ -417,7 +661,7 @@ class P4UpdateController(Node):
             self.obs.metrics.counter("update_retriggers", node=self.name).inc()
         for uim in prepared.uims:
             if uim.is_flow_egress or uim.is_segment_egress:
-                self.send_control(uim)
+                self._send_to_switch(uim)
 
     # -- convenience queries -------------------------------------------------------------------
 

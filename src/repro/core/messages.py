@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.p4.packet import HeaderField, HeaderType, Packet
 
@@ -120,6 +120,64 @@ class UFM:
 
     def describe(self) -> str:
         return f"UFM(flow={self.flow_id} v={self.version} {self.status} {self.reason})"
+
+
+# -- §11 failure handling (repro.chaos) ---------------------------------------
+
+
+@dataclass(frozen=True)
+class PortStatus:
+    """Switch -> controller: a local port changed state.
+
+    The paper's NIB learns about link failures through port-down
+    reports from the adjacent switches (§11); both endpoints of a
+    failed link report, and the controller deduplicates by edge.
+    """
+
+    reporter: str
+    peer: str                     # neighbor reached through the port
+    port: int
+    up: bool
+
+    def describe(self) -> str:
+        state = "up" if self.up else "down"
+        return f"PortStatus({self.reporter}:{self.port}->{self.peer} {state})"
+
+
+@dataclass(frozen=True)
+class Sequenced:
+    """Reliable-delivery envelope for controller -> switch messages.
+
+    Wraps a UIM or TagFlip with a globally unique sequence number; the
+    receiving switch always acks the number and processes the inner
+    message at most once (receiver-side dedup), which makes duplicated
+    or retransmitted control messages safe end-to-end.
+    """
+
+    seq: int
+    target: str                   # routes the control-channel delivery
+    inner: Any
+
+    def describe(self) -> str:
+        return f"Seq#{self.seq}({describe_inner(self.inner)})"
+
+
+@dataclass(frozen=True)
+class ControlAck:
+    """Switch -> controller: acknowledges one :class:`Sequenced` send."""
+
+    seq: int
+    reporter: str
+
+    def describe(self) -> str:
+        return f"ControlAck(seq={self.seq} from={self.reporter})"
+
+
+def describe_inner(message: Any) -> str:
+    describe_fn = getattr(message, "describe", None)
+    if callable(describe_fn):
+        return str(describe_fn())
+    return type(message).__name__
 
 
 # -- UNM as a P4 header -------------------------------------------------------

@@ -23,11 +23,16 @@ from repro.core.messages import (
     FRM,
     UFM,
     UIM,
+    ControlAck,
+    PortStatus,
+    Sequenced,
     TagFlip,
     UNMFields,
     UpdateType,
     make_cleanup,
 )
+from repro.p4.pipeline import Pipeline
+from repro.p4.switch import RuntimeAPI
 from repro.core.registers import LOCAL_DELIVER_PORT, NO_PORT
 from repro.core.verification import Decision, NodeFlowState, Verdict, apply_sl_state
 from repro.p4.packet import Packet
@@ -59,6 +64,7 @@ class P4UpdateSwitch(P4Switch):
         program.agent = self
         self.forwarding_state = forwarding_state
         self.on_punt = self._handle_punt
+        self._max_flows = max_flows
         # flow_id -> version currently being installed (supersession
         # guard for fast-forward: a newer admitted install wins).
         self._installing: dict[int, int] = {}
@@ -71,6 +77,12 @@ class P4UpdateSwitch(P4Switch):
         # §11 compact updates: remaining piggybacked UIMs to forward
         # upstream on this flow-version's UNM, keyed (flow, version).
         self._piggyback: dict[tuple[int, int], tuple] = {}
+        # Reliable control delivery (repro.chaos): sequence numbers of
+        # Sequenced envelopes already processed, for receiver-side
+        # dedup.  Survives crashes — the dedup window models sequence
+        # state kept by the (restarting) switch agent, and keeping it
+        # prevents a replayed retransmission from double-applying.
+        self._seen_control_seqs: set[int] = set()
 
     # -- wiring -------------------------------------------------------------
 
@@ -103,10 +115,75 @@ class P4UpdateSwitch(P4Switch):
     # -- control plane messages -----------------------------------------------------
 
     def handle_control(self, message: Any, sender: str) -> None:
+        if isinstance(message, Sequenced):
+            # Reliable delivery (repro.chaos): always ack, process the
+            # inner message at most once.  Dedup here makes duplicated
+            # and retransmitted control messages safe end-to-end.
+            self.send_control(ControlAck(seq=message.seq, reporter=self.name))
+            if message.seq in self._seen_control_seqs:
+                if self.obs.enabled:
+                    self.obs.metrics.counter(
+                        "duplicate_control_suppressed", node=self.name
+                    ).inc()
+                return
+            self._seen_control_seqs.add(message.seq)
+            message = message.inner
         if isinstance(message, UIM):
             self._process_uim(message)
         elif isinstance(message, TagFlip):
             self._process_tag_flip(message)
+
+    # -- topology failures (repro.chaos) ------------------------------------
+
+    def handle_port_status(self, port: int, up: bool) -> None:
+        """A local link changed state: report it to the controller.
+
+        This is the paper's §11 "port-down FRM" — the NIB learns about
+        link failures from the adjacent switches' reports."""
+        if self.network is None:
+            return
+        peer = self.network.neighbor_on_port(self.name, port)
+        self.send_control(
+            PortStatus(reporter=self.name, peer=peer, port=port, up=up)
+        )
+
+    def on_crash(self, preserve_state: bool) -> None:
+        """Called by the network when this switch crashes.
+
+        ``preserve_state=False`` models a power-cycle: the pipeline
+        program (all UIB registers, pending UIMs, scheduler
+        reservations) is rebuilt from scratch and the ground-truth
+        forwarding rules held at this node are removed.  With
+        ``preserve_state=True`` the data-plane state survives and the
+        switch resumes where it left off after a restart."""
+        if preserve_state:
+            return
+        if self.forwarding_state is not None:
+            for flow_id in self.forwarding_state.flow_ids():
+                if self.forwarding_state.next_hop(flow_id, self.name) is None:
+                    continue
+                self.forwarding_state.set_rule(flow_id, self.name, None)
+                if self.network is not None:
+                    self.network.trace.record(
+                        self.now, KIND_RULE_CHANGE, self.name,
+                        flow=flow_id, next_hop=None, port=None, crash=True,
+                    )
+        program = P4UpdateProgram(max_flows=self._max_flows)
+        program.agent = self
+        program.congestion_aware = self.program.congestion_aware
+        self.program = program
+        self.pipeline = Pipeline(program)
+        self.runtime = RuntimeAPI(program)
+        self._pipeline_busy_until = 0.0
+        self._installing.clear()
+        self._piggyback.clear()
+        if self.network is not None:
+            self.configure_ports()
+        if self.obs.enabled:
+            self.program.scheduler.attach_obs(self.obs, self.name)
+
+    def on_restart(self) -> None:
+        """Called by the network when the switch comes back up."""
 
     def _process_tag_flip(self, flip: TagFlip) -> None:
         """§11 2PC: atomically start stamping the new tag.

@@ -11,7 +11,9 @@ Commands regenerate individual experiments without pytest:
   a JSONL trace, then ``filter``/``summary`` over any exported trace;
 * ``analyze`` — static verification: the sim-purity linter, the
   update-plan verifier and the pipeline analyzer
-  (:mod:`repro.analysis`).
+  (:mod:`repro.analysis`);
+* ``chaos`` — robustness: run declarative fault-injection campaigns
+  and assert consistency + determinism (:mod:`repro.chaos`).
 """
 
 from __future__ import annotations
@@ -294,8 +296,10 @@ def main(argv=None) -> int:
     psum = obs_sub.add_parser("summary", help="summarize an exported JSONL trace")
     psum.add_argument("trace", help="path to a JSONL trace")
     from repro.analysis.cli import add_analyze_parser, cmd_analyze
+    from repro.chaos.cli import add_chaos_parser, cmd_chaos
 
     add_analyze_parser(sub)
+    add_chaos_parser(sub)
     args = parser.parse_args(argv)
     handler = {
         "fig2": cmd_fig2,
@@ -306,6 +310,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "obs": cmd_obs,
         "analyze": cmd_analyze,
+        "chaos": cmd_chaos,
     }[args.command]
     return handler(args)
 

@@ -16,6 +16,17 @@ from typing import Any, Iterable
 _packet_ids = itertools.count(1)
 
 
+def reset_packet_ids() -> None:
+    """Restart debug packet numbering at 1.
+
+    Packet ids appear only in describe() strings, but those strings end
+    up in traces; resetting before a run makes same-seed executions in
+    one process produce bit-identical traces.
+    """
+    global _packet_ids
+    _packet_ids = itertools.count(1)
+
+
 @dataclass(frozen=True)
 class HeaderField:
     """One field of a header type: a name and a bit width."""

@@ -125,6 +125,29 @@ class SimParams:
     # pending Flow-DB state instead of deadlocking the data plane.
     verify_update_plans: bool = False
 
+    # -- §11 failure handling (repro.chaos) --------------------------------
+    # Reliable control delivery: wrap controller -> switch UIM/TagFlip
+    # sends in sequence-numbered envelopes with ack tracking and
+    # seeded exponential backoff + jitter.  Off by default — with it
+    # off the control path is byte-identical to the pre-chaos build.
+    reliable_control: bool = False
+    # First retransmission timeout; attempt k waits
+    # timeout * backoff**(k-1) + U(0, jitter).
+    control_retry_timeout_ms: float = 80.0
+    control_retry_backoff: float = 2.0
+    control_retry_jitter_ms: float = 5.0
+    # Retransmissions per message before escalating to the controller's
+    # failure handler (the target is then treated as unreachable).
+    control_max_retries: int = 6
+    # Crash register policy: False = power-cycle semantics (pipeline
+    # registers lost on crash), True = data-plane state survives.
+    crash_preserves_state: bool = False
+    # Controller-side recovery: on a detected link/switch failure,
+    # abort affected pending updates (Flow-DB rollback), recompute
+    # paths around the failed element and re-issue, or park the flow
+    # with a structured report when no alternate path exists.
+    recover_on_failure: bool = True
+
     # -- fat-tree control latency (DESIGN.md §1, Huang et al. stand-in) ----
     fattree_control_latency: DelayDistribution = field(
         default_factory=lambda: DelayDistribution.normal(4.0, 2.0, floor=0.5)

@@ -1,18 +1,29 @@
 """Fault injection for control and data messages.
 
 The paper's verification model (§5) assumes update messages may be
-dropped, delayed, reordered or corrupted.  A :class:`FaultModel` sits in
-front of message delivery in :class:`repro.sim.network.Network` and
-decides per message what happens to it.
+dropped, delayed, reordered or corrupted.  A :class:`FaultPolicy`
+(usually a :class:`FaultModel`) sits in front of message delivery in
+:class:`repro.sim.network.Network` and decides per message what
+happens to it.
+
+Fault activity is counted on :class:`repro.obs.registry.Counter`
+instruments.  A :class:`FaultModel` starts with private standalone
+counters (so ``model.dropped`` works without any observability
+wiring); installing the model on an instrumented :class:`Network`
+rebinds the counters into the run's metrics registry via
+:meth:`FaultModel.attach_metrics`, which makes fault activity appear
+in ``BENCH_*`` manifests alongside every other metric.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Callable, Optional, Protocol, Sequence
 
 import numpy as np
+
+from repro.obs.registry import Counter, MetricsRegistry
 
 
 class FaultAction(enum.Enum):
@@ -31,7 +42,21 @@ class FaultDecision:
 
     action: FaultAction = FaultAction.DELIVER
     extra_delay_ms: float = 0.0
-    mutate: Optional[Callable[[Any], Any]] = None
+    mutate: Optional[Callable[[object], object]] = None
+
+
+class FaultPolicy(Protocol):
+    """Anything that can classify a message delivery.
+
+    The network consults the policy once per transmission; returning
+    ``FaultDecision()`` (action ``DELIVER``) leaves the message alone.
+    """
+
+    def decide(self, message: object) -> FaultDecision: ...
+
+
+#: Counter names, in decision-precedence order.
+FAULT_COUNTER_ACTIONS = ("dropped", "corrupted", "duplicated", "delayed")
 
 
 class FaultModel:
@@ -51,8 +76,8 @@ class FaultModel:
         delay_ms: float = 0.0,
         duplicate_prob: float = 0.0,
         corrupt_prob: float = 0.0,
-        corruptor: Optional[Callable[[Any], Any]] = None,
-        selector: Optional[Callable[[Any], bool]] = None,
+        corruptor: Optional[Callable[[object], object]] = None,
+        selector: Optional[Callable[[object], bool]] = None,
     ) -> None:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.drop_prob = drop_prob
@@ -62,30 +87,62 @@ class FaultModel:
         self.corrupt_prob = corrupt_prob
         self.corruptor = corruptor
         self.selector = selector
-        self.dropped: int = 0
-        self.delayed: int = 0
-        self.duplicated: int = 0
-        self.corrupted: int = 0
+        self._counters: dict[str, Counter] = {
+            action: Counter() for action in FAULT_COUNTER_ACTIONS
+        }
 
-    def decide(self, message: Any) -> FaultDecision:
+    # -- counters --------------------------------------------------------
+
+    def attach_metrics(self, metrics: MetricsRegistry, plane: str = "data") -> None:
+        """Rebind fault counters into a live metrics registry.
+
+        Counts accumulated so far carry over, so attaching mid-run
+        never loses activity.
+        """
+        for action, old in self._counters.items():
+            counter = metrics.counter("fault_injections", plane=plane, action=action)
+            if old is not counter and old.value:
+                counter.inc(old.value)
+            self._counters[action] = counter
+
+    def _count(self, action: str) -> None:
+        self._counters[action].inc()
+
+    @property
+    def dropped(self) -> int:
+        return int(self._counters["dropped"].value)
+
+    @property
+    def delayed(self) -> int:
+        return int(self._counters["delayed"].value)
+
+    @property
+    def duplicated(self) -> int:
+        return int(self._counters["duplicated"].value)
+
+    @property
+    def corrupted(self) -> int:
+        return int(self._counters["corrupted"].value)
+
+    def decide(self, message: object) -> FaultDecision:
         """Classify one message delivery."""
         if self.selector is not None and not self.selector(message):
             return FaultDecision()
         roll = self.rng.random()
         if roll < self.drop_prob:
-            self.dropped += 1
+            self._count("dropped")
             return FaultDecision(action=FaultAction.DROP)
         roll = self.rng.random()
         if self.corruptor is not None and roll < self.corrupt_prob:
-            self.corrupted += 1
+            self._count("corrupted")
             return FaultDecision(action=FaultAction.CORRUPT, mutate=self.corruptor)
         roll = self.rng.random()
         if roll < self.duplicate_prob:
-            self.duplicated += 1
+            self._count("duplicated")
             return FaultDecision(action=FaultAction.DUPLICATE)
         roll = self.rng.random()
         if roll < self.delay_prob:
-            self.delayed += 1
+            self._count("delayed")
             return FaultDecision(action=FaultAction.DELAY, extra_delay_ms=self.delay_ms)
         return FaultDecision()
 
@@ -99,14 +156,14 @@ class ScriptedFault:
     crosses link (v2, v3)".
     """
 
-    matches: Callable[[Any], bool]
+    matches: Callable[[object], bool]
     action: FaultAction
     extra_delay_ms: float = 0.0
-    mutate: Optional[Callable[[Any], Any]] = None
+    mutate: Optional[Callable[[object], object]] = None
     max_hits: Optional[int] = None
     hits: int = field(default=0, init=False)
 
-    def decide(self, message: Any) -> FaultDecision:
+    def decide(self, message: object) -> FaultDecision:
         if self.max_hits is not None and self.hits >= self.max_hits:
             return FaultDecision()
         if not self.matches(message):
@@ -118,12 +175,19 @@ class ScriptedFault:
 
 
 class CompositeFaultModel:
-    """Apply a list of scripted faults, first match wins."""
+    """Apply a list of fault policies, first non-DELIVER match wins."""
 
-    def __init__(self, faults: list) -> None:
-        self.faults = list(faults)
+    def __init__(self, faults: Sequence[FaultPolicy]) -> None:
+        self.faults: list[FaultPolicy] = list(faults)
 
-    def decide(self, message: Any) -> FaultDecision:
+    def attach_metrics(self, metrics: MetricsRegistry, plane: str = "data") -> None:
+        """Propagate registry binding to members that support it."""
+        for fault in self.faults:
+            attach = getattr(fault, "attach_metrics", None)
+            if attach is not None:
+                attach(metrics, plane)
+
+    def decide(self, message: object) -> FaultDecision:
         for fault in self.faults:
             decision = fault.decide(message)
             if decision.action is not FaultAction.DELIVER:

@@ -9,8 +9,16 @@ Delivery semantics:
   one message at a time, which is what makes the Central baseline pay
   for every acknowledgement round (paper §9.1, [40]).
 
-A :class:`FaultModel` (or any object with a compatible ``decide``) can
+A :class:`FaultPolicy` (e.g. :class:`repro.sim.faults.FaultModel`) can
 be installed to drop/delay/duplicate/corrupt messages in flight.
+
+Topology-level failures (repro.chaos, paper §11): links can go down
+(losing in-flight messages), switches can crash and restart, and the
+controller can suffer outage windows during which its control channel
+is black-holed but the service queue is preserved.  All failure state
+lives behind :meth:`Network.enable_chaos`; with chaos disarmed the
+delivery paths pay one boolean check and are bit-identical to a build
+without the chaos layer.
 """
 
 from __future__ import annotations
@@ -19,14 +27,20 @@ import copy
 from typing import Any, Optional
 
 from repro.obs.context import NULL_OBS, ObsContext
-from repro.sim.engine import Engine
-from repro.sim.faults import FaultAction, FaultDecision, FaultModel
+from repro.sim.engine import Engine, Event
+from repro.sim.faults import FaultAction, FaultDecision, FaultPolicy
 from repro.sim.links import ControlChannel, Link
 from repro.sim.node import Node
 from repro.sim.trace import (
+    KIND_CONTROLLER_DOWN,
+    KIND_CONTROLLER_UP,
+    KIND_LINK_DOWN,
+    KIND_LINK_UP,
     KIND_MSG_DROP,
     KIND_MSG_RECV,
     KIND_MSG_SEND,
+    KIND_SWITCH_CRASH,
+    KIND_SWITCH_RESTART,
     Trace,
 )
 
@@ -51,10 +65,54 @@ class Network:
         self._adjacency: dict[tuple[str, str], Link] = {}
         self.control_channels: dict[str, ControlChannel] = {}
         self.controller_name: Optional[str] = None
-        self.fault_model: Optional[FaultModel] = None
-        self.control_fault_model: Optional[FaultModel] = None
+        self._fault_model: Optional[FaultPolicy] = None
+        self._control_fault_model: Optional[FaultPolicy] = None
         # Single-threaded controller service queue state.
         self.controller_service_busy_until = 0.0
+        # -- topology-level failure state (repro.chaos) ----------------
+        # One boolean gates every failure check on the delivery paths;
+        # until enable_chaos() (or any failure API) flips it, the
+        # chaos layer is inert and adds no events or RNG draws.
+        self._chaos = False
+        self._down_links: set[frozenset[str]] = set()
+        self._down_nodes: set[str] = set()
+        self.controller_outage = False
+        # Control messages that arrived at the controller during an
+        # outage window; re-enqueued (service queue preserved) when
+        # the controller comes back.
+        self._outage_buffer: list[tuple[str, Any]] = []
+        # link key -> delivery events currently on that wire, so a
+        # LinkDown can lose them.  Only maintained while chaos is
+        # armed.
+        self._in_flight: dict[frozenset[str], list[Event]] = {}
+
+    # -- fault models ------------------------------------------------------
+
+    @property
+    def fault_model(self) -> Optional[FaultPolicy]:
+        return self._fault_model
+
+    @fault_model.setter
+    def fault_model(self, model: Optional[FaultPolicy]) -> None:
+        self._fault_model = self._bind_fault_metrics(model, "data")
+
+    @property
+    def control_fault_model(self) -> Optional[FaultPolicy]:
+        return self._control_fault_model
+
+    @control_fault_model.setter
+    def control_fault_model(self, model: Optional[FaultPolicy]) -> None:
+        self._control_fault_model = self._bind_fault_metrics(model, "control")
+
+    def _bind_fault_metrics(
+        self, model: Optional[FaultPolicy], plane: str
+    ) -> Optional[FaultPolicy]:
+        """Expose fault counters through the run's metrics registry."""
+        if model is not None and self.obs.enabled:
+            attach = getattr(model, "attach_metrics", None)
+            if attach is not None:
+                attach(self.obs.metrics, plane)
+        return model
 
     # -- construction ----------------------------------------------------
 
@@ -121,6 +179,174 @@ class Network:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         self.engine.run(until=until, max_events=max_events)
 
+    # -- topology failures (repro.chaos) -----------------------------------
+
+    def enable_chaos(self) -> None:
+        """Arm the failure layer.
+
+        Must be called before messages whose in-flight loss matters are
+        sent — delivery events are only tracked per link while armed.
+        Every failure API arms the layer itself, but messages already
+        on the wire at that point are not retroactively tracked.
+        """
+        self._chaos = True
+
+    @property
+    def chaos_enabled(self) -> bool:
+        return self._chaos
+
+    def link_is_up(self, node_a: str, node_b: str) -> bool:
+        return self.link_between(node_a, node_b).key not in self._down_links
+
+    def node_is_up(self, name: str) -> bool:
+        return name not in self._down_nodes
+
+    def set_link_state(self, node_a: str, node_b: str, up: bool) -> None:
+        """Take the (bidirectional) link between two nodes down or up.
+
+        On LinkDown, messages currently on the wire are lost and both
+        endpoints get a synchronous port-status notification (which
+        P4Update switches relay to the controller as port-down FRMs,
+        §11).  On LinkUp the endpoints are notified again.
+        """
+        self.enable_chaos()
+        link = self.link_between(node_a, node_b)
+        key = link.key
+        now = self.engine.now
+        if up:
+            if key not in self._down_links:
+                return
+            self._down_links.discard(key)
+            self.trace.record(now, KIND_LINK_UP, link.node_a, peer=link.node_b)
+            if self.obs.enabled:
+                self.obs.metrics.counter("topo_events", kind="link_up").inc()
+        else:
+            if key in self._down_links:
+                return
+            self._down_links.add(key)
+            self.trace.record(now, KIND_LINK_DOWN, link.node_a, peer=link.node_b)
+            if self.obs.enabled:
+                self.obs.metrics.counter("topo_events", kind="link_down").inc()
+            for event in self._in_flight.pop(key, []):
+                if event.cancelled or event.time < now:
+                    continue
+                event.cancel()
+                dest, _dest_port, payload = event.args
+                self._drop_for_failure(
+                    link.other(dest), dest, payload, plane="data", reason="link_down"
+                )
+        self._notify_port_status(link, up)
+
+    def _notify_port_status(self, link: Link, up: bool) -> None:
+        for name, port in (
+            (link.node_a, link.port_a),
+            (link.node_b, link.port_b),
+        ):
+            if name in self._down_nodes:
+                continue
+            self.nodes[name].handle_port_status(port, up)
+
+    def crash_switch(self, name: str, preserve_state: bool = False) -> None:
+        """Crash a switch: it stops sending and receiving.
+
+        ``preserve_state`` selects the register policy: False models a
+        power-cycle (pipeline registers and queued work are lost, the
+        node's ``on_crash`` hook resets them); True models a fast
+        control-agent failure where the data-plane state survives.
+        Live neighbors see their ports toward the switch go down.
+        """
+        self.enable_chaos()
+        if name not in self.nodes:
+            raise KeyError(f"unknown node {name!r}")
+        if name in self._down_nodes:
+            return
+        self._down_nodes.add(name)
+        self.trace.record(
+            self.engine.now, KIND_SWITCH_CRASH, name, preserve_state=preserve_state
+        )
+        if self.obs.enabled:
+            self.obs.metrics.counter("topo_events", kind="switch_crash").inc()
+        hook = getattr(self.nodes[name], "on_crash", None)
+        if hook is not None:
+            hook(preserve_state)
+        for link in self._links_of(name):
+            if link.key in self._down_links:
+                continue
+            other = link.other(name)
+            if other in self._down_nodes:
+                continue
+            port = link.port_a if link.node_a == other else link.port_b
+            self.nodes[other].handle_port_status(port, False)
+
+    def restart_switch(self, name: str) -> None:
+        """Bring a crashed switch back; neighbors see ports come up."""
+        self.enable_chaos()
+        if name not in self._down_nodes:
+            return
+        self._down_nodes.discard(name)
+        self.trace.record(self.engine.now, KIND_SWITCH_RESTART, name)
+        if self.obs.enabled:
+            self.obs.metrics.counter("topo_events", kind="switch_restart").inc()
+        hook = getattr(self.nodes[name], "on_restart", None)
+        if hook is not None:
+            hook()
+        for link in self._links_of(name):
+            if link.key in self._down_links:
+                continue
+            other = link.other(name)
+            if other in self._down_nodes:
+                continue
+            port = link.port_a if link.node_a == other else link.port_b
+            self.nodes[other].handle_port_status(port, True)
+
+    def set_controller_outage(self, down: bool) -> None:
+        """Black-hole the control channel during a controller outage.
+
+        Messages arriving at the controller while it is down are
+        buffered and re-enqueued through the (preserved) service queue
+        at recovery time; messages *sent* during the window — in either
+        direction — are lost, modelling a dead management network.
+        """
+        self.enable_chaos()
+        if self.controller_name is None:
+            raise RuntimeError("no controller registered")
+        if down == self.controller_outage:
+            return
+        self.controller_outage = down
+        kind = KIND_CONTROLLER_DOWN if down else KIND_CONTROLLER_UP
+        self.trace.record(self.engine.now, kind, self.controller_name)
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "topo_events", kind="controller_down" if down else "controller_up"
+            ).inc()
+        if not down and self._outage_buffer:
+            buffered = self._outage_buffer
+            self._outage_buffer = []
+            for sender, message in buffered:
+                self._enqueue_at_controller(sender, message, self.engine.now)
+
+    def _links_of(self, name: str) -> list[Link]:
+        return [link for link in self.links if name in (link.node_a, link.node_b)]
+
+    def _drop_for_failure(
+        self, sender: str, dest: str, message: Any, plane: str, reason: str
+    ) -> None:
+        self.trace.record(
+            self.engine.now, KIND_MSG_DROP, sender,
+            dest=dest, message=describe(message), reason=reason,
+        )
+        if self.obs.enabled:
+            self.obs.metrics.counter(
+                "messages_lost_to_failure", plane=plane, reason=reason,
+            ).inc()
+
+    def _note_in_flight(self, key: frozenset, event: Event) -> None:
+        flights = self._in_flight.setdefault(key, [])
+        now = self.engine.now
+        while flights and (flights[0].cancelled or flights[0].time < now):
+            flights.pop(0)
+        flights.append(event)
+
     # -- data-plane delivery ---------------------------------------------------
 
     def transmit(self, sender: str, port: int, message: Any) -> None:
@@ -135,7 +361,14 @@ class Network:
                 "messages_sent", node=sender, plane="data",
                 type=message_type(message),
             ).inc()
-        decision = self._fault_decision(self.fault_model, message)
+        if self._chaos:
+            if sender in self._down_nodes:
+                self._drop_for_failure(sender, dest, message, "data", "sender_down")
+                return
+            if link.key in self._down_links:
+                self._drop_for_failure(sender, dest, message, "data", "link_down")
+                return
+        decision = self._fault_decision(self._fault_model, message)
         if decision.action is FaultAction.DROP:
             self.trace.record(
                 self.engine.now, KIND_MSG_DROP, sender,
@@ -151,13 +384,25 @@ class Network:
         payload = message
         if decision.action is FaultAction.CORRUPT and decision.mutate is not None:
             payload = decision.mutate(copy.deepcopy(message))
-        self.engine.schedule(delay, self._deliver, dest, dest_port, payload)
+        event = self.engine.schedule(delay, self._deliver, dest, dest_port, payload)
+        if self._chaos:
+            self._note_in_flight(link.key, event)
         if decision.action is FaultAction.DUPLICATE:
-            self.engine.schedule(delay, self._deliver, dest, dest_port, copy.deepcopy(message))
+            dup = self.engine.schedule(
+                delay, self._deliver, dest, dest_port, copy.deepcopy(message)
+            )
+            if self._chaos:
+                self._note_in_flight(link.key, dup)
 
     def _deliver(self, dest: str, dest_port: int, message: Any) -> None:
         node = self.nodes.get(dest)
         if node is None:
+            return
+        if self._chaos and dest in self._down_nodes:
+            self._drop_for_failure(
+                self.neighbor_on_port(dest, dest_port), dest, message,
+                "data", "dest_down",
+            )
             return
         self.trace.record(
             self.engine.now, KIND_MSG_RECV, dest,
@@ -182,7 +427,19 @@ class Network:
         """
         if self.controller_name is None:
             raise RuntimeError("no controller registered")
-        decision = self._fault_decision(self.control_fault_model, message)
+        if self._chaos:
+            if sender in self._down_nodes:
+                self._drop_for_failure(
+                    sender, self.controller_name, message, "control", "sender_down"
+                )
+                return
+            if self.controller_outage:
+                self._drop_for_failure(
+                    sender, self.controller_name, message,
+                    "control", "controller_outage",
+                )
+                return
+        decision = self._fault_decision(self._control_fault_model, message)
         if self.obs.enabled:
             self.obs.metrics.counter(
                 "messages_sent", node=sender, plane="control",
@@ -228,6 +485,11 @@ class Network:
             self.engine.schedule(
                 delay, self._enqueue_at_controller, sender, payload, arrival
             )
+            if decision.action is FaultAction.DUPLICATE:
+                self.engine.schedule(
+                    delay, self._enqueue_at_controller,
+                    sender, copy.deepcopy(payload), arrival,
+                )
 
     def _channel_for(self, switch: str) -> ControlChannel:
         channel = self.control_channels.get(switch)
@@ -242,6 +504,12 @@ class Network:
         thread); service time is supplied by the controller node via
         ``control_service_time()`` if present, else zero.
         """
+        if self._chaos and self.controller_outage:
+            # Arrived while the controller is down: the service queue
+            # survives the outage, so park the message for re-enqueue
+            # at recovery.
+            self._outage_buffer.append((sender, message))
+            return
         controller = self.nodes[self.controller_name]
         service_time = 0.0
         provider = getattr(controller, "control_service_time", None)
@@ -267,6 +535,9 @@ class Network:
         node = self.nodes.get(dest)
         if node is None:
             return
+        if self._chaos and dest in self._down_nodes:
+            self._drop_for_failure(sender, dest, message, "control", "dest_down")
+            return
         self.trace.record(
             self.engine.now, KIND_MSG_RECV, dest,
             sender=sender, message=describe(message),
@@ -281,7 +552,7 @@ class Network:
     # -- faults -------------------------------------------------------------------
 
     def _fault_decision(
-        self, model: Optional["FaultModel"], message: Any
+        self, model: Optional[FaultPolicy], message: Any
     ) -> FaultDecision:
         if model is None:
             return FaultDecision()

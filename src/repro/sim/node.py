@@ -70,5 +70,12 @@ class Node:
     def handle_control(self, message: Any, sender: str) -> None:
         """Receive a control-channel message from ``sender``."""
 
+    def handle_port_status(self, port: int, up: bool) -> None:
+        """The link on local ``port`` changed state (repro.chaos).
+
+        Called synchronously by the network when the attached link goes
+        down or comes back up; switches override this to report the
+        event to the controller (port-down FRMs, §11)."""
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

@@ -39,6 +39,15 @@ KIND_PACKET_DELIVERED = "packet_delivered"
 KIND_UPDATE_DONE = "update_done"        # controller saw UFM
 KIND_CAPACITY = "capacity"              # link reservation change
 KIND_SCHED = "sched"                    # congestion scheduler decision
+# Topology-level failure events and recovery (repro.chaos).
+KIND_UPDATE_ABORTED = "update_aborted"  # pending update rolled back
+KIND_FLOW_PARKED = "flow_parked"        # no alternate path; structured report
+KIND_LINK_DOWN = "link_down"
+KIND_LINK_UP = "link_up"
+KIND_SWITCH_CRASH = "switch_crash"
+KIND_SWITCH_RESTART = "switch_restart"
+KIND_CONTROLLER_DOWN = "controller_down"
+KIND_CONTROLLER_UP = "controller_up"
 
 
 class Trace:

@@ -1,0 +1,187 @@
+"""Campaign declarations, the runner, determinism and zero-overhead."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    FaultCampaign,
+    MessageFaultSpec,
+    TopoEvent,
+    load_campaign,
+    run_campaign,
+    trace_signature,
+)
+from repro.chaos.runner import build_campaign_deployment, campaign_params
+from repro.harness.build import build_p4update_network
+from repro.harness.scenarios import single_flow_scenario
+from repro.p4.packet import reset_packet_ids
+from repro.topo import fig1_topology
+
+
+def acceptance_campaign(seed=42):
+    """The issue's acceptance scenario: a mid-update link failure plus
+    a switch crash/restart plus 20% UNM drop."""
+    return FaultCampaign(
+        name="acceptance",
+        topology="fig1",
+        seed=seed,
+        horizon_ms=30_000.0,
+        update_at_ms=10.0,
+        reliable_control=True,
+        unm_timeout_ms=200.0,
+        controller_update_timeout_ms=2_000.0,
+        events=(
+            TopoEvent(time_ms=12.0, kind="link_down", node_a="v4", node_b="v2"),
+            TopoEvent(time_ms=40.0, kind="switch_crash", node_a="v5"),
+            TopoEvent(time_ms=400.0, kind="switch_restart", node_a="v5"),
+        ),
+        message_faults=(
+            MessageFaultSpec(plane="data", drop_prob=0.2, scope="unm"),
+        ),
+    )
+
+
+# -- declaration / JSON ------------------------------------------------------
+
+
+def test_campaign_json_round_trip():
+    campaign = acceptance_campaign()
+    restored = load_campaign(json.loads(campaign.to_json()))
+    assert restored == campaign
+
+
+def test_unknown_event_kind_rejected():
+    with pytest.raises(ValueError):
+        TopoEvent(time_ms=0.0, kind="meteor_strike", node_a="v0")
+
+
+def test_link_event_needs_both_endpoints():
+    with pytest.raises(ValueError):
+        TopoEvent(time_ms=0.0, kind="link_down", node_a="v0")
+
+
+def test_corruptor_must_be_registered():
+    with pytest.raises(ValueError):
+        MessageFaultSpec(corrupt_prob=0.5, corruptor="gamma_rays")
+
+
+def test_unknown_topology_rejected_by_runner():
+    campaign = FaultCampaign(name="x", topology="moebius")
+    with pytest.raises(ValueError):
+        build_campaign_deployment(campaign)
+
+
+# -- the acceptance criterion ------------------------------------------------
+
+
+def test_acceptance_scenario_completes_consistently_and_deterministically():
+    campaign = acceptance_campaign()
+    first = run_campaign(campaign)
+    second = run_campaign(campaign)
+    assert first.completed, "every flow must complete or park"
+    assert first.consistent, first.violations[:3]
+    assert first.fault_counts["data"]["dropped"] > 0, "the 20% UNM drop must bite"
+    assert first.trace_signature == second.trace_signature
+    assert first.to_results() == second.to_results()
+
+
+def test_different_seeds_diverge():
+    a = run_campaign(acceptance_campaign(seed=1))
+    b = run_campaign(acceptance_campaign(seed=2))
+    assert a.trace_signature != b.trace_signature
+
+
+def test_parked_flow_reported_in_results():
+    campaign = FaultCampaign(
+        name="parked",
+        topology="fig1",
+        seed=0,
+        horizon_ms=10_000.0,
+        events=(
+            # Cut every edge into v7: no alternate path can exist.
+            TopoEvent(time_ms=5.0, kind="link_down", node_a="v2", node_b="v7"),
+            TopoEvent(time_ms=5.0, kind="link_down", node_a="v6", node_b="v7"),
+        ),
+    )
+    result = run_campaign(campaign)
+    assert result.flows_parked == 1
+    assert result.completed
+    assert result.consistent, result.violations[:3]
+    (report,) = result.parked_reports
+    assert report["reason"] == "no alternate path"
+
+
+# -- zero-overhead contract --------------------------------------------------
+
+
+def test_empty_campaign_equals_plain_harness_run():
+    """With every chaos feature disabled the runner must produce the
+    exact trace a hand-built deployment produces."""
+    campaign = FaultCampaign(
+        name="plain", topology="fig1", seed=3, horizon_ms=20_000.0
+    )
+    via_runner = run_campaign(campaign)
+
+    reset_packet_ids()
+    topo = fig1_topology()
+    deployment = build_p4update_network(
+        topo,
+        params=campaign_params(campaign),
+        rng=np.random.default_rng(campaign.seed),
+    )
+    scenario = single_flow_scenario(
+        topo, rng=np.random.default_rng([campaign.seed, 0x5CE2])
+    )
+    for flow in scenario.flows:
+        deployment.install_flow(flow)
+
+    def trigger():
+        for flow in scenario.flows:
+            deployment.controller.update_flow(flow.flow_id, list(flow.new_path))
+
+    deployment.network.engine.schedule_at(campaign.update_at_ms, trigger)
+    deployment.run(until=campaign.horizon_ms)
+
+    assert not deployment.network.chaos_enabled
+    assert via_runner.trace_signature == trace_signature(deployment.network.trace)
+
+
+def test_armed_chaos_without_events_changes_nothing():
+    """enable_chaos() only arms bookkeeping; with no failures scheduled
+    the trace must be bit-identical to an unarmed run."""
+    campaign = FaultCampaign(
+        name="armed", topology="fig1", seed=3, horizon_ms=20_000.0
+    )
+
+    def run(armed):
+        deployment, scenario, _ = build_campaign_deployment(campaign)
+        if armed:
+            deployment.network.enable_chaos()
+
+        def trigger():
+            for flow in scenario.flows:
+                deployment.controller.update_flow(flow.flow_id, list(flow.new_path))
+
+        deployment.network.engine.schedule_at(campaign.update_at_ms, trigger)
+        deployment.run(until=campaign.horizon_ms)
+        return trace_signature(deployment.network.trace)
+
+    assert run(armed=False) == run(armed=True)
+
+
+# -- manifest ----------------------------------------------------------------
+
+
+def test_manifest_emission(tmp_path):
+    campaign = FaultCampaign(
+        name="manifested", topology="fig1", seed=0, horizon_ms=20_000.0
+    )
+    result = run_campaign(campaign, emit_manifest=True, out_dir=str(tmp_path))
+    path = tmp_path / "BENCH_chaos_manifested.json"
+    assert path.exists()
+    payload = json.loads(path.read_text())
+    assert payload["results"]["trace_signature"] == result.trace_signature
+    assert payload["results"]["consistent"] is True
+    assert payload["params"]["name"] == "manifested"

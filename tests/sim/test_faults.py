@@ -120,3 +120,66 @@ def test_fault_probability_is_seed_deterministic():
         outcome = [model.decide(i).action for i in range(100)]
         counts.append(outcome)
     assert counts[0] == counts[1]
+
+
+# -- FaultPolicy protocol + metrics export ----------------------------------
+
+
+def test_fault_counters_track_actions():
+    model = FaultModel(rng=np.random.default_rng(3), drop_prob=1.0)
+    for i in range(5):
+        model.decide(i)
+    assert model.dropped == 5
+    assert model.corrupted == model.duplicated == model.delayed == 0
+
+
+def test_attach_metrics_rebinds_counters_into_registry():
+    from repro.obs.registry import MetricsRegistry
+
+    model = FaultModel(rng=np.random.default_rng(3), drop_prob=1.0)
+    for i in range(4):
+        model.decide(i)                        # counted before attach
+    registry = MetricsRegistry()
+    model.attach_metrics(registry, plane="data")
+    for i in range(2):
+        model.decide(i)                        # counted after attach
+    assert model.dropped == 6                  # nothing lost in the rebind
+    assert registry.value("fault_injections", plane="data", action="dropped") == 6
+    assert registry.value("fault_injections", plane="data", action="delayed") == 0
+
+
+def test_composite_attach_metrics_propagates_to_members():
+    from repro.obs.registry import MetricsRegistry
+
+    drops = FaultModel(rng=np.random.default_rng(0), drop_prob=1.0)
+    dups = FaultModel(rng=np.random.default_rng(1), duplicate_prob=1.0)
+    composite = CompositeFaultModel([drops, ScriptedFault(
+        matches=lambda m: False, action=FaultAction.DROP,
+    ), dups])
+    registry = MetricsRegistry()
+    composite.attach_metrics(registry, plane="control")
+    composite.decide("x")                      # drops wins first
+    drops.drop_prob = 0.0
+    composite.decide("y")                      # falls through to dups
+    assert registry.value(
+        "fault_injections", plane="control", action="dropped"
+    ) == 1
+    assert registry.value(
+        "fault_injections", plane="control", action="duplicated"
+    ) == 1
+
+
+def test_network_binds_fault_metrics_when_observed():
+    from repro.obs import make_obs
+
+    obs = make_obs()
+    net = Network(Engine(), obs=obs)
+    a = net.add_node(Sink("a"))
+    net.add_node(Sink("b"))
+    net.add_link(Link("a", 1, "b", 1, latency_ms=1.0))
+    net.fault_model = FaultModel(rng=np.random.default_rng(0), drop_prob=1.0)
+    a.send(1, "doomed")
+    net.run()
+    assert obs.metrics.value(
+        "fault_injections", plane="data", action="dropped"
+    ) == 1

@@ -159,3 +159,90 @@ def test_unattached_node_send_raises():
         orphan.send(1, "x")
     with pytest.raises(RuntimeError):
         orphan.send_control("x")
+
+
+# -- control-plane fault delivery paths -------------------------------------
+
+
+class Mutable:
+    """Control payload whose corruption is observable."""
+
+    def __init__(self, target, value):
+        self.target = target
+        self.value = value
+
+
+def control_pair():
+    from repro.sim.faults import FaultAction, ScriptedFault
+
+    net, a, b = build_pair()
+    net.set_controller("a")
+    net.add_control_channel(ControlChannel("b", latency_ms=5.0))
+    return net, a, b, FaultAction, ScriptedFault
+
+
+def test_control_duplicate_switch_to_controller_delivers_twice():
+    net, ctrl, sw, FaultAction, ScriptedFault = control_pair()
+    net.control_fault_model = ScriptedFault(
+        matches=lambda m: True, action=FaultAction.DUPLICATE, max_hits=1
+    )
+    sw.send_control("report")
+    net.run()
+    assert [m for _, _, m in ctrl.control] == ["report", "report"]
+
+
+def test_control_duplicate_controller_to_switch_delivers_twice():
+    net, ctrl, sw, FaultAction, ScriptedFault = control_pair()
+    net.control_fault_model = ScriptedFault(
+        matches=lambda m: True, action=FaultAction.DUPLICATE, max_hits=1
+    )
+    ctrl.send_control(Mutable(target="b", value="order"))
+    net.run()
+    assert [m.value for _, _, m in sw.control] == ["order", "order"]
+
+
+def test_control_duplicate_is_a_deep_copy():
+    net, ctrl, sw, FaultAction, ScriptedFault = control_pair()
+    net.control_fault_model = ScriptedFault(
+        matches=lambda m: True, action=FaultAction.DUPLICATE, max_hits=1
+    )
+    ctrl.send_control(Mutable(target="b", value="order"))
+    net.run()
+    first, second = (m for _, _, m in sw.control)
+    assert first is not second
+
+
+def test_control_corrupt_mutates_delivery_not_sender_object():
+    net, ctrl, sw, FaultAction, ScriptedFault = control_pair()
+
+    def garble(message):
+        message.value = "garbled"
+        return message
+
+    net.control_fault_model = ScriptedFault(
+        matches=lambda m: isinstance(m, Mutable),
+        action=FaultAction.CORRUPT,
+        mutate=garble,
+    )
+    original = Mutable(target="b", value="order")
+    ctrl.send_control(original)
+    net.run()
+    assert [m.value for _, _, m in sw.control] == ["garbled"]
+    assert original.value == "order"     # sender's copy untouched
+
+
+def test_control_corrupt_switch_to_controller():
+    net, ctrl, sw, FaultAction, ScriptedFault = control_pair()
+
+    def garble(message):
+        message.value = "garbled"
+        return message
+
+    net.control_fault_model = ScriptedFault(
+        matches=lambda m: isinstance(m, Mutable),
+        action=FaultAction.CORRUPT,
+        mutate=garble,
+    )
+    sw.send_control(Mutable(target=None, value="report"))
+    net.run()
+    assert [m.value for _, _, m in ctrl.control] == ["garbled"]
