@@ -9,17 +9,28 @@ Usage::
 ``BASELINE`` and ``CURRENT`` are either two manifest files or two
 directories scanned for ``BENCH_*.json``.  Numeric leaves of each
 manifest's ``results`` tree are compared pairwise; a value that grew
-by more than ``--tolerance`` (relative) counts as a regression — every
+by more than its tolerance (relative) counts as a regression — every
 number a manifest records (update times, preparation times, operation
-counts, ratios, loss counts) is a cost, so "bigger" is "worse".  Use
-``--both-directions`` to also fail on improvements beyond tolerance
-(useful to force baseline refreshes when results shift), and
-``--ignore`` to exclude volatile keys (wall-clock seconds on shared
-CI, say) with fnmatch patterns against the dotted result path.
+counts, ratios, loss counts) is a cost, so "bigger" is "worse".
 
-Exit status: 0 when no regressions, 1 on regressions, 2 on usage or
-I/O errors.  Intended as an informational (``continue-on-error``) CI
-step until baselines are curated.
+Tolerances are per metric:
+
+* ``--rule 'PATTERN=TOL'`` assigns a relative tolerance to every key
+  whose dotted path matches the fnmatch ``PATTERN`` (first matching
+  rule wins); use this for wall-clock-derived fields that jitter on
+  shared CI runners, e.g. ``--rule '*_s=0.50'``.
+* ``--exact PATTERN`` marks matching keys as deterministic: numeric
+  values must be equal in **both** directions, and string leaves
+  (trace signatures, spec hashes) matching the pattern are compared
+  verbatim — any drift fails the gate.
+* ``--tolerance`` is the default for keys no rule matches.
+
+``--both-directions`` extends every rule (not just ``--exact``) to
+also fail on improvements beyond tolerance — useful to force baseline
+refreshes when results shift; ``--ignore`` excludes keys entirely.
+
+Exit status: 0 when no regressions, 1 on regressions or exact-field
+drift, 2 on usage or I/O errors.  Runs as a hard CI gate.
 """
 
 from __future__ import annotations
@@ -31,26 +42,33 @@ import json
 import os
 import sys
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
 
 @dataclass(frozen=True)
 class Delta:
-    """One numeric leaf that differs between baseline and current."""
+    """One leaf that differs between baseline and current."""
 
     manifest: str
     key: str            # dotted path inside results
-    baseline: float
-    current: float
+    baseline: Union[float, str]
+    current: Union[float, str]
 
     @property
-    def relative(self) -> float:
+    def relative(self) -> Optional[float]:
+        if isinstance(self.baseline, str) or isinstance(self.current, str):
+            return None
         if self.baseline == 0:
             return float("inf") if self.current != 0 else 0.0
         return (self.current - self.baseline) / abs(self.baseline)
 
     def row(self) -> str:
         rel = self.relative
+        if rel is None:
+            return (
+                f"{self.manifest}:{self.key}: exact field changed: "
+                f"{self.baseline!r} -> {self.current!r}"
+            )
         arrow = "worse" if rel > 0 else "better"
         return (
             f"{self.manifest}:{self.key}: {self.baseline:g} -> "
@@ -73,12 +91,25 @@ def numeric_leaves(tree: object, prefix: str = "") -> Iterator[tuple[str, float]
             yield from numeric_leaves(item, f"{prefix}[{i}]")
 
 
-def load_results(path: str) -> dict[str, float]:
+def string_leaves(tree: object, prefix: str = "") -> Iterator[tuple[str, str]]:
+    """Yield ``(dotted.path, value)`` for every string leaf."""
+    if isinstance(tree, str):
+        yield prefix, tree
+    elif isinstance(tree, dict):
+        for key in sorted(tree):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            yield from string_leaves(tree[key], child)
+    elif isinstance(tree, (list, tuple)):
+        for i, item in enumerate(tree):
+            yield from string_leaves(item, f"{prefix}[{i}]")
+
+
+def load_results(path: str) -> dict:
     with open(path, encoding="utf-8") as handle:
         doc = json.load(handle)
     if not isinstance(doc, dict) or "results" not in doc:
         raise ValueError(f"{path}: not a run manifest (no 'results')")
-    return dict(numeric_leaves(doc["results"]))
+    return doc["results"]
 
 
 def manifest_set(path: str) -> dict[str, str]:
@@ -91,17 +122,47 @@ def manifest_set(path: str) -> dict[str, str]:
     return {os.path.basename(path): path}
 
 
+def parse_rule(text: str) -> tuple[str, float]:
+    """``'PATTERN=TOL'`` -> ``(pattern, tolerance)``."""
+    pattern, sep, tol = text.rpartition("=")
+    if not sep or not pattern:
+        raise ValueError(f"rule {text!r} is not of the form PATTERN=TOL")
+    try:
+        value = float(tol)
+    except ValueError:
+        raise ValueError(f"rule {text!r}: tolerance {tol!r} is not a number")
+    if value < 0:
+        raise ValueError(f"rule {text!r}: tolerance must be >= 0")
+    return pattern, value
+
+
 def compare(
     baseline: str,
     current: str,
     tolerance: float,
     ignore: Optional[list[str]] = None,
+    rules: Optional[list[tuple[str, float]]] = None,
+    exact: Optional[list[str]] = None,
     both_directions: bool = False,
 ) -> tuple[list[Delta], list[str]]:
     """Returns (regressions, notes).  Raises on I/O or format errors."""
     ignore = ignore or []
+    rules = rules or []
+    exact = exact or []
     base_set = manifest_set(baseline)
     cur_set = manifest_set(current)
+
+    def skipped(key: str) -> bool:
+        return any(fnmatch.fnmatch(key, pattern) for pattern in ignore)
+
+    def is_exact(key: str) -> bool:
+        return any(fnmatch.fnmatch(key, pattern) for pattern in exact)
+
+    def tolerance_for(key: str) -> float:
+        for pattern, tol in rules:
+            if fnmatch.fnmatch(key, pattern):
+                return tol
+        return tolerance
 
     regressions: list[Delta] = []
     notes: list[str] = []
@@ -112,21 +173,41 @@ def compare(
         notes.append(f"{name}: new manifest, no baseline (skipped)")
 
     for name in sorted(base_set.keys() & cur_set.keys()):
-        base_values = load_results(base_set[name])
-        cur_values = load_results(cur_set[name])
+        base_tree = load_results(base_set[name])
+        cur_tree = load_results(cur_set[name])
+        base_values = dict(numeric_leaves(base_tree))
+        cur_values = dict(numeric_leaves(cur_tree))
         for key in sorted(base_values.keys() - cur_values.keys()):
             notes.append(f"{name}:{key}: dropped from current results")
         for key in sorted(cur_values.keys() - base_values.keys()):
             notes.append(f"{name}:{key}: new result, no baseline")
         compared = 0
         for key in sorted(base_values.keys() & cur_values.keys()):
-            if any(fnmatch.fnmatch(key, pattern) for pattern in ignore):
+            if skipped(key):
                 continue
             compared += 1
             delta = Delta(name, key, base_values[key], cur_values[key])
             rel = delta.relative
-            if rel > tolerance or (both_directions and rel < -tolerance):
+            assert rel is not None
+            if is_exact(key):
+                if rel != 0:
+                    regressions.append(delta)
+                continue
+            tol = tolerance_for(key)
+            if rel > tol or (both_directions and rel < -tol):
                 regressions.append(delta)
+        # Deterministic string leaves (trace signatures, hashes):
+        # compared verbatim when an --exact pattern selects them.
+        base_strings = dict(string_leaves(base_tree))
+        cur_strings = dict(string_leaves(cur_tree))
+        for key in sorted(base_strings.keys() & cur_strings.keys()):
+            if skipped(key) or not is_exact(key):
+                continue
+            compared += 1
+            if base_strings[key] != cur_strings[key]:
+                regressions.append(
+                    Delta(name, key, base_strings[key], cur_strings[key])
+                )
         notes.append(f"{name}: compared {compared} value(s)")
     return regressions, notes
 
@@ -139,13 +220,25 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("current", help="current manifest file or directory")
     parser.add_argument(
         "--tolerance", type=float, default=0.10,
-        help="relative growth allowed before a value counts as a "
-        "regression (default 0.10 = 10%%)",
+        help="default relative growth allowed before a value counts as "
+        "a regression (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=[], metavar="PATTERN=TOL",
+        help="per-metric tolerance for keys matching the fnmatch "
+        "pattern, e.g. '*_s=0.50' for wall-clock seconds (repeatable; "
+        "first match wins)",
+    )
+    parser.add_argument(
+        "--exact", action="append", default=[], metavar="PATTERN",
+        help="keys matching this pattern are deterministic: numeric "
+        "values must match exactly in both directions, string leaves "
+        "(signatures, hashes) verbatim (repeatable)",
     )
     parser.add_argument(
         "--ignore", action="append", default=[], metavar="PATTERN",
-        help="skip result keys matching this fnmatch pattern, e.g. "
-        "'*_s' for wall-clock seconds (repeatable)",
+        help="skip result keys matching this fnmatch pattern entirely "
+        "(repeatable)",
     )
     parser.add_argument(
         "--both-directions", action="store_true",
@@ -154,9 +247,16 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     try:
+        rules = [parse_rule(text) for text in args.rule]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
         regressions, notes = compare(
             args.baseline, args.current, args.tolerance,
-            ignore=args.ignore, both_directions=args.both_directions,
+            ignore=args.ignore, rules=rules, exact=args.exact,
+            both_directions=args.both_directions,
         )
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -165,12 +265,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     for note in notes:
         print(note)
     if regressions:
-        print(f"\n{len(regressions)} regression(s) beyond "
-              f"{args.tolerance:.0%} tolerance:")
+        print(f"\n{len(regressions)} regression(s):")
         for delta in regressions:
             print(f"  {delta.row()}")
         return 1
-    print(f"\nno regressions beyond {args.tolerance:.0%} tolerance")
+    print("\nno regressions")
     return 0
 
 

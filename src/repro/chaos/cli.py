@@ -41,8 +41,8 @@ def _load(path: str) -> Optional["FaultCampaign"]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.chaos.runner import CampaignResult, run_campaign
-    from repro.obs import make_obs
+    from repro.sweep.executor import run_sweep
+    from repro.sweep.spec import load_sweep_spec
 
     campaign = _load(args.spec)
     if campaign is None:
@@ -50,40 +50,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if campaign.description:
         print(f"# {campaign.description}")
 
-    results: list[CampaignResult] = []
-    for i in range(args.runs):
-        result = run_campaign(
-            campaign,
-            obs=make_obs() if args.obs else None,
-            emit_manifest=args.manifest and i == 0,
-            out_dir=args.out_dir,
+    # The N same-seed repetitions are a chaos-kind sweep fleet: each
+    # run is one shard, executed in a worker process (or inline with
+    # --workers 1, the serial path the runner always had).
+    spec = load_sweep_spec({
+        "name": f"chaos-{campaign.name}",
+        "kind": "chaos",
+        "seed": campaign.seed,
+        "campaign": campaign.to_dict(),
+        "runs": args.runs,
+        "obs": args.obs,
+    })
+    run = run_sweep(
+        spec, workers=args.workers, cache_dir=args.cache_dir,
+    )
+    for failure in run.failures:
+        print(
+            f"SHARD FAILURE {failure['shard_id']} "
+            f"({failure['attempts']} attempt(s)): "
+            f"{failure['error_type']}: {failure['message']}",
+            file=sys.stderr,
         )
-        results.append(result)
-        print(f"run {i + 1}/{args.runs}: {result.summary()}")
+    docs = sorted(run.shard_docs, key=lambda d: int(d["index"]))
+    for doc in docs:
+        results = doc["results"]
+        status = "CONSISTENT" if results["consistent"] else "VIOLATIONS"
+        print(
+            f"run {doc['index'] + 1}/{args.runs}: {campaign.name}: "
+            f"{results['flows_completed']}/{results['flows_total']} flows "
+            f"completed, {results['flows_parked']} parked, "
+            f"{len(results['violations'])} violations [{status}], "
+            f"signature {results['trace_signature'][:16]}"
+        )
 
-    ok = True
-    for result in results:
-        if not result.consistent:
+    ok = run.ok
+    for doc in docs:
+        results = doc["results"]
+        if not results["consistent"]:
             ok = False
-            for violation in result.violations:
+            for violation in results["violations"]:
                 print(
                     f"VIOLATION t={violation['time']:.3f} "
                     f"{violation['kind']} flow={violation['flow_id']}: "
                     f"{violation['detail']}"
                 )
-        if not result.completed:
+        if not results["completed"]:
             ok = False
-            stuck = result.flows_total - result.flows_completed - result.flows_parked
+            stuck = (results["flows_total"] - results["flows_completed"]
+                     - results["flows_parked"])
             print(f"INCOMPLETE: {stuck} flow(s) neither completed nor parked")
-    signatures = {result.trace_signature for result in results}
+    signatures = {doc["results"]["trace_signature"] for doc in docs}
     if len(signatures) > 1:
         ok = False
         print(f"NON-DETERMINISTIC: {len(signatures)} distinct trace signatures")
-    for report in results[0].parked_reports:
-        print(
-            f"parked flow {report['flow_id']} at {report['time_ms']:.1f} ms: "
-            f"{report['reason']} (failed edges: {report['failed_edges']})"
-        )
+    if docs:
+        for report in docs[0]["results"]["parked_reports"]:
+            print(
+                f"parked flow {report['flow_id']} at {report['time_ms']:.1f} ms: "
+                f"{report['reason']} (failed edges: {report['failed_edges']})"
+            )
+        if args.manifest:
+            from repro.obs.manifest import write_manifest
+
+            path = write_manifest(
+                f"chaos_{campaign.name}",
+                params=campaign.to_dict(),
+                results=docs[0]["results"],
+                seed=campaign.seed,
+                out_dir=args.out_dir,
+            )
+            print(f"wrote {path}")
     print("OK" if ok else "FAILED")
     return 0 if ok else 1
 
@@ -108,6 +144,14 @@ def add_chaos_parser(sub: argparse._SubParsersAction) -> None:
     prun.add_argument(
         "--runs", type=int, default=2,
         help="same-seed repetitions for the determinism check (default 2)",
+    )
+    prun.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the repetitions (default 1: serial)",
+    )
+    prun.add_argument(
+        "--cache-dir", default=None,
+        help="sweep shard-cache root (default .sweep_cache)",
     )
     prun.add_argument(
         "--obs", action="store_true",

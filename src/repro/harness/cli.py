@@ -13,7 +13,10 @@ Commands regenerate individual experiments without pytest:
   update-plan verifier and the pipeline analyzer
   (:mod:`repro.analysis`);
 * ``chaos`` — robustness: run declarative fault-injection campaigns
-  and assert consistency + determinism (:mod:`repro.chaos`).
+  and assert consistency + determinism (:mod:`repro.chaos`);
+* ``sweep`` — fleet orchestration: expand a declarative sweep spec
+  into shards and execute them across worker processes with crash
+  isolation, resume and a consolidated manifest (:mod:`repro.sweep`).
 """
 
 from __future__ import annotations
@@ -23,30 +26,7 @@ import sys
 
 import numpy as np
 
-FIG7_SCENARIOS = {
-    "a": ("single", "fig1"),
-    "b": ("multi", "fattree"),
-    "c": ("single", "b4"),
-    "d": ("multi", "b4"),
-    "e": ("single", "internet2"),
-    "f": ("multi", "internet2"),
-}
-
-
-def _topology(name: str):
-    from repro.topo import (
-        b4_topology,
-        fattree_topology,
-        fig1_topology,
-        internet2_topology,
-    )
-
-    return {
-        "fig1": fig1_topology,
-        "b4": b4_topology,
-        "internet2": internet2_topology,
-        "fattree": lambda: fattree_topology(4),
-    }[name]
+from repro.harness.fig_experiments import FIG7_SCENARIOS
 
 
 def cmd_fig2(args) -> int:
@@ -82,29 +62,29 @@ def cmd_fig4(args) -> int:
 
 
 def cmd_fig7(args) -> int:
-    from repro.harness.experiment import compare_systems
+    from repro.harness.fig_experiments import (
+        FIG7_SYSTEMS,
+        fig7_paired_times,
+        fig7_sweep_spec,
+    )
     from repro.harness.metrics import summarize
-    from repro.harness.scenarios import multi_flow_scenario, single_flow_scenario
-    from repro.params import SimParams
+    from repro.sweep.executor import run_sweep
+    from repro.sweep.merge import attach_shard_keys
 
-    kind, topo_name = FIG7_SCENARIOS[args.scenario]
-    topo_factory = _topology(topo_name)
-    if kind == "single":
-        params = SimParams(seed=args.seed).with_dionysus_install_delay()
-        factory = lambda seed: single_flow_scenario(
-            topo_factory(), np.random.default_rng(seed)
+    spec = fig7_sweep_spec(args.scenario, runs=args.runs, seed=args.seed)
+    run = run_sweep(spec, workers=args.workers, cache_dir=args.cache_dir,
+                    resume=args.resume)
+    for failure in run.failures:
+        print(
+            f"SHARD FAILURE {failure['shard_id']}: "
+            f"{failure['error_type']}: {failure['message']}",
+            file=sys.stderr,
         )
-    else:
-        params = SimParams(seed=args.seed)
-        factory = lambda seed: multi_flow_scenario(
-            topo_factory(), np.random.default_rng(seed)
-        )
-    systems = ("p4update-sl", "p4update-dl", "ezsegway", "central")
-    comparison = compare_systems(factory, systems, params, runs=args.runs)
-    for system in systems:
-        print(summarize(comparison.times[system]).row(system))
-    print(f"skipped scenarios: {comparison.skipped}")
-    return 0
+    times, skipped = fig7_paired_times(attach_shard_keys(spec, run.shard_docs))
+    for system in FIG7_SYSTEMS:
+        print(summarize(times[system]).row(system))
+    print(f"skipped scenarios: {skipped}")
+    return 0 if run.ok else 1
 
 
 def cmd_fig8(args) -> int:
@@ -269,9 +249,17 @@ def main(argv=None) -> int:
     sub.add_parser("fig2", help="§4.1 inconsistent-update demo")
     p4 = sub.add_parser("fig4", help="§4.2 fast-forward CDF")
     p4.add_argument("--runs", type=int, default=30)
-    p7 = sub.add_parser("fig7", help="one Fig. 7 cell")
+    p7 = sub.add_parser("fig7", help="one Fig. 7 cell (sweep-executed)")
     p7.add_argument("scenario", choices=sorted(FIG7_SCENARIOS))
     p7.add_argument("--runs", type=int, default=15)
+    p7.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the cell's (system x seed) grid",
+    )
+    p7.add_argument("--resume", action="store_true",
+                    help="reuse cached shards from an interrupted run")
+    p7.add_argument("--cache-dir", default=None,
+                    help="shard cache root (default .sweep_cache)")
     sub.add_parser("fig8", help="control-plane preparation ratios")
     sub.add_parser("demo", help="traced Fig. 1 DL update walk-through")
     prun = sub.add_parser("run", help="execute a JSON experiment spec")
@@ -297,9 +285,11 @@ def main(argv=None) -> int:
     psum.add_argument("trace", help="path to a JSONL trace")
     from repro.analysis.cli import add_analyze_parser, cmd_analyze
     from repro.chaos.cli import add_chaos_parser, cmd_chaos
+    from repro.sweep.cli import add_sweep_parser, cmd_sweep
 
     add_analyze_parser(sub)
     add_chaos_parser(sub)
+    add_sweep_parser(sub)
     args = parser.parse_args(argv)
     handler = {
         "fig2": cmd_fig2,
@@ -311,6 +301,7 @@ def main(argv=None) -> int:
         "obs": cmd_obs,
         "analyze": cmd_analyze,
         "chaos": cmd_chaos,
+        "sweep": cmd_sweep,
     }[args.command]
     return handler(args)
 

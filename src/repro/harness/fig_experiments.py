@@ -1,4 +1,5 @@
-"""Runners for the paper's §4 demonstrations (Fig. 2 and Fig. 4).
+"""Runners for the paper's §4 demonstrations (Fig. 2 and Fig. 4) and
+the Fig. 7 evaluation matrix.
 
 * :func:`run_fig2` — the out-of-order-update scenario: configuration
   (c) is deployed while the control messages of (b) are still in
@@ -7,6 +8,10 @@
 * :func:`run_fig4` — the fast-forward scenario: a simple update U3 is
   issued while the complex U2 is still ongoing; P4Update jumps ahead,
   ez-Segway serializes.
+* :data:`FIG7_SCENARIOS` / :func:`fig7_sweep_spec` /
+  :func:`fig7_paired_times` — the §9 scenario x topology matrix,
+  expressed as a :mod:`repro.sweep` fleet so the grid's cells run in
+  parallel worker processes (``p4update-repro fig7 --workers N``).
 """
 
 from __future__ import annotations
@@ -159,6 +164,70 @@ def _fig2_collect(system, trace, flow, source, checker) -> Fig2Result:
         loop_window_ms=loop_window,
         consistency_violations=len(checker.violations),
     )
+
+
+# -- Fig. 7: the scenario x topology matrix as a sweep ---------------------------
+
+#: Cell letter -> (scenario kind, sweep topology name), Fig. 7 (a)-(f).
+FIG7_SCENARIOS = {
+    "a": ("single", "fig1"),
+    "b": ("multi", "fattree4"),
+    "c": ("single", "b4"),
+    "d": ("multi", "b4"),
+    "e": ("single", "internet2"),
+    "f": ("multi", "internet2"),
+}
+
+FIG7_SYSTEMS = ("p4update-sl", "p4update-dl", "ezsegway", "central")
+
+
+def fig7_sweep_spec(scenario: str, runs: int = 15, seed: int = 0):
+    """One Fig. 7 cell as a sweep spec: ``runs`` paired seeds across
+    the four systems.  Single-flow cells use the paper's Dionysus-style
+    exp(100) ms install delays (§9.1), exactly as the serial runner
+    did."""
+    from repro.sweep.spec import load_sweep_spec
+
+    kind, topo_name = FIG7_SCENARIOS[scenario]
+    return load_sweep_spec({
+        "name": f"fig7{scenario}",
+        "kind": "experiment",
+        "seed": seed,
+        "systems": list(FIG7_SYSTEMS),
+        "topologies": [topo_name],
+        "scenarios": [kind],
+        "seeds": runs,
+        "dionysus_install_delays": kind == "single",
+        "description": f"Fig. 7({scenario}): {kind} flow(s) on {topo_name}",
+    })
+
+
+def fig7_paired_times(shard_docs: list) -> tuple[dict, int]:
+    """Paired per-system update times from a fig7 sweep's shards.
+
+    Mirrors :func:`repro.harness.experiment.compare_systems`: a seed
+    contributes only when every system completed on it; the skipped
+    count is returned alongside.  Shards carry their axis key (the
+    merge layer attaches it), so this works on a manifest's ``shards``
+    list too."""
+    by_seed: dict[int, dict[str, dict]] = {}
+    for doc in shard_docs:
+        key = doc.get("key") or {}
+        by_seed.setdefault(int(key["seed_index"]), {})[key["system"]] = (
+            doc["results"]
+        )
+    times: dict[str, list] = {system: [] for system in FIG7_SYSTEMS}
+    skipped = 0
+    for seed_index in sorted(by_seed):
+        cell = by_seed[seed_index]
+        if any(
+            not cell.get(system, {}).get("completed") for system in FIG7_SYSTEMS
+        ):
+            skipped += 1
+            continue
+        for system in FIG7_SYSTEMS:
+            times[system].append(cell[system]["total_update_time_ms"])
+    return times, skipped
 
 
 # -- Fig. 4 ----------------------------------------------------------------------

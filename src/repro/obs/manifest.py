@@ -173,6 +173,9 @@ def write_manifest(
             if "profile" not in doc and "profile" in previous:
                 doc["profile"] = previous["profile"]
     validate_manifest(doc)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)
         handle.write("\n")

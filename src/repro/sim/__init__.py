@@ -11,6 +11,11 @@ from repro.sim.links import Link, ControlChannel
 from repro.sim.network import Network
 from repro.sim.trace import Trace, TraceEvent
 from repro.sim.faults import FaultModel, FaultAction
+from repro.sim.reset import (
+    register_global_reset,
+    registered_resets,
+    reset_global_state,
+)
 
 __all__ = [
     "Engine",
@@ -23,4 +28,7 @@ __all__ = [
     "TraceEvent",
     "FaultModel",
     "FaultAction",
+    "register_global_reset",
+    "registered_resets",
+    "reset_global_state",
 ]

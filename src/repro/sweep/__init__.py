@@ -1,0 +1,66 @@
+"""``repro.sweep`` — parallel experiment-fleet orchestration.
+
+Expands a declarative JSON sweep spec (scenario x topology x seed x
+system, or a chaos-campaign fleet) into a deterministic shard list,
+executes the shards across a process pool with per-worker isolation
+and crash containment, and merges the per-shard results into one
+consolidated, resumable ``BENCH_sweep_<name>.json`` manifest whose
+aggregate signature is independent of worker count.
+
+See ``docs/SWEEP.md`` for the spec format and the determinism /
+resume contract, and ``examples/sweep_smoke.json`` for a starter spec.
+"""
+
+from repro.sweep.executor import (
+    DEFAULT_CACHE_DIR,
+    SweepProgress,
+    SweepRun,
+    cache_root,
+    load_cached_shard,
+    read_status,
+    run_sweep,
+)
+from repro.sweep.merge import (
+    aggregate_chaos,
+    aggregate_experiment,
+    build_sweep_results,
+    merge_metrics,
+    merge_profiles,
+    results_signature,
+    validate_sweep_results,
+    write_sweep_manifest,
+)
+from repro.sweep.spec import (
+    Shard,
+    SweepSpec,
+    SweepSpecError,
+    derive_shard_seed,
+    load_sweep_spec,
+    load_sweep_spec_file,
+)
+from repro.sweep.worker import run_shard_payload
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "Shard",
+    "SweepProgress",
+    "SweepRun",
+    "SweepSpec",
+    "SweepSpecError",
+    "aggregate_chaos",
+    "aggregate_experiment",
+    "build_sweep_results",
+    "cache_root",
+    "derive_shard_seed",
+    "load_cached_shard",
+    "load_sweep_spec",
+    "load_sweep_spec_file",
+    "merge_metrics",
+    "merge_profiles",
+    "read_status",
+    "results_signature",
+    "run_shard_payload",
+    "run_sweep",
+    "validate_sweep_results",
+    "write_sweep_manifest",
+]

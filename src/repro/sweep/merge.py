@@ -1,0 +1,322 @@
+"""Deterministic aggregation of per-shard results.
+
+The consolidated sweep manifest (``BENCH_sweep_<name>.json``) is built
+from the shard documents alone, so it is reproducible from the on-disk
+shard cache without re-running anything (``repro sweep merge``), and —
+because shards are sorted by index and the signature covers only the
+deterministic subtrees — byte-identical no matter how many workers
+produced the shards or how many resume rounds it took.
+
+``signature`` is the SHA-256 over the canonical JSON of every shard's
+``(shard_id, index, kind, seed, results)`` view.  Wall-clock material
+(``wall``, ``spans``, ``profile``) and merge bookkeeping are excluded
+by construction, not by filtering: the worker already quarantines
+host-time measurements outside ``results``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Optional
+
+#: Shard-document fields covered by the aggregate signature.
+DETERMINISTIC_SHARD_FIELDS = ("shard_id", "index", "kind", "seed", "results")
+
+
+def shard_deterministic_view(doc: dict) -> dict:
+    """The signature-relevant projection of one shard document."""
+    return {name: doc.get(name) for name in DETERMINISTIC_SHARD_FIELDS}
+
+
+def results_signature(shard_docs: list[dict]) -> str:
+    """SHA-256 over the sorted, deterministic shard views."""
+    ordered = sorted(shard_docs, key=lambda d: int(d["index"]))
+    canonical = json.dumps(
+        [shard_deterministic_view(doc) for doc in ordered],
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def merge_metrics(snapshots: list[dict]) -> dict:
+    """Merge per-shard ``MetricsRegistry.snapshot()`` dicts.
+
+    Counters and gauges sum per (name, labels); histograms combine
+    exactly mergeable moments (count/sum/min/max, recomputed mean).
+    Streaming quantiles are not cross-shard mergeable from snapshots
+    and are dropped — per-shard quantiles stay available in the shard
+    documents."""
+    merged: dict[str, dict[str, dict]] = {}
+    for snapshot in snapshots:
+        for name, series in snapshot.items():
+            for row in series:
+                labels = row.get("labels", {})
+                label_key = json.dumps(labels, sort_keys=True)
+                slot = merged.setdefault(name, {}).get(label_key)
+                if slot is None:
+                    slot = {"labels": dict(labels), "type": row.get("type")}
+                    merged[name][label_key] = slot
+                _merge_row(slot, row)
+    out: dict[str, list] = {}
+    for name in sorted(merged):
+        out[name] = [
+            merged[name][key] for key in sorted(merged[name])
+        ]
+    return out
+
+
+def _merge_row(slot: dict, row: dict) -> None:
+    kind = row.get("type")
+    if kind in ("counter", "gauge"):
+        slot["value"] = slot.get("value", 0.0) + float(row.get("value", 0.0))
+        return
+    # histogram
+    count = int(row.get("count", 0))
+    if count == 0:
+        slot.setdefault("count", 0)
+        return
+    slot["count"] = slot.get("count", 0) + count
+    slot["sum"] = slot.get("sum", 0.0) + float(row.get("sum", 0.0))
+    slot["min"] = min(slot.get("min", float(row["min"])), float(row["min"]))
+    slot["max"] = max(slot.get("max", float(row["max"])), float(row["max"]))
+    slot["mean"] = slot["sum"] / slot["count"]
+
+
+def merge_profiles(profiles: list[list]) -> list[dict]:
+    """Merge per-shard engine-profiler reports into one ranking.
+
+    Calls and total wall time sum per callback target; ``max_us`` is
+    the max across shards, ``mean_us`` is recomputed.  This is the
+    multi-run input the profile-guided optimization work wants: one
+    table ranking the costliest callbacks across a whole fleet."""
+    totals: dict[str, dict] = {}
+    for report in profiles:
+        for row in report:
+            target = row["target"]
+            slot = totals.setdefault(
+                target,
+                {"target": target, "calls": 0, "total_ms": 0.0, "max_us": 0.0},
+            )
+            slot["calls"] += int(row.get("calls", 0))
+            slot["total_ms"] += float(row.get("total_ms", 0.0))
+            slot["max_us"] = max(slot["max_us"], float(row.get("max_us", 0.0)))
+    merged = []
+    for slot in totals.values():
+        calls = slot["calls"]
+        slot["mean_us"] = (slot["total_ms"] * 1000.0 / calls) if calls else 0.0
+        merged.append(slot)
+    merged.sort(key=lambda r: (-r["total_ms"], r["target"]))
+    return merged
+
+
+def format_profile(report: list[dict], top: int = 15) -> str:
+    lines = [
+        f"{'calls':>9s}  {'total ms':>10s}  {'mean us':>9s}  "
+        f"{'max us':>9s}  target"
+    ]
+    for row in report[:top] if top > 0 else report:
+        lines.append(
+            f"{row['calls']:9d}  {row['total_ms']:10.2f}  "
+            f"{row['mean_us']:9.1f}  {row['max_us']:9.1f}  {row['target']}"
+        )
+    return "\n".join(lines)
+
+
+# -- aggregates --------------------------------------------------------------
+
+
+def aggregate_experiment(shard_docs: list[dict]) -> dict:
+    """Per-cell statistics, paired across the system axis.
+
+    A (scenario, topology, seed_index) group only contributes to the
+    per-system timing statistics when *every* system in it completed —
+    the paper's paired design (see ``compare_systems``); incomplete
+    groups are counted in ``skipped_groups``."""
+    cells: dict[tuple, dict[tuple, dict]] = {}
+    for doc in sorted(shard_docs, key=lambda d: int(d["index"])):
+        key = doc.get("key") or {}
+        cell = (key.get("scenario"), key.get("topology"), key.get("system"))
+        group = (key.get("scenario"), key.get("topology"), key.get("seed_index"))
+        cells.setdefault(cell, {})[group] = doc["results"]
+
+    groups: dict[tuple, dict[tuple, dict]] = {}
+    for cell, by_group in cells.items():
+        for group, results in by_group.items():
+            groups.setdefault(group, {})[cell] = results
+
+    complete_groups = {
+        group
+        for group, by_cell in groups.items()
+        if all(r.get("completed") for r in by_cell.values())
+    }
+    out: dict[str, Any] = {
+        "groups_total": len(groups),
+        "skipped_groups": len(groups) - len(complete_groups),
+        "cells": {},
+    }
+    for cell in sorted(cells, key=lambda c: tuple(str(x) for x in c)):
+        paired = sorted(
+            (g for g in cells[cell] if g in complete_groups),
+            key=lambda g: tuple(str(x) for x in g),
+        )
+        times = [
+            t for t in (
+                cells[cell][group].get("total_update_time_ms")
+                for group in paired
+            )
+            if t is not None
+        ]
+        docs = list(cells[cell].values())
+        label = "/".join(str(x) for x in cell)
+        out["cells"][label] = {
+            "shards": len(docs),
+            "completed": sum(1 for r in docs if r.get("completed")),
+            "violations": sum(int(r.get("violations", 0)) for r in docs),
+            "paired_runs": len(times),
+            "mean_update_ms": (sum(times) / len(times)) if times else None,
+            "min_update_ms": min(times) if times else None,
+            "max_update_ms": max(times) if times else None,
+        }
+    return out
+
+
+def aggregate_chaos(shard_docs: list[dict]) -> dict:
+    """Fleet view of same-campaign runs: the determinism probe."""
+    ordered = sorted(shard_docs, key=lambda d: int(d["index"]))
+    signatures = sorted(
+        {str(d["results"].get("trace_signature")) for d in ordered}
+    )
+    return {
+        "runs": len(ordered),
+        "distinct_trace_signatures": len(signatures),
+        "trace_signatures": signatures,
+        "deterministic": len(signatures) <= 1,
+        "consistent": all(d["results"].get("consistent") for d in ordered),
+        "flows_completed": sum(
+            int(d["results"].get("flows_completed", 0)) for d in ordered
+        ),
+        "flows_parked": sum(
+            int(d["results"].get("flows_parked", 0)) for d in ordered
+        ),
+    }
+
+
+# -- the consolidated manifest -----------------------------------------------
+
+
+def build_sweep_results(
+    spec: Any,
+    shard_docs: list[dict],
+    failures: list[dict],
+    shards_total: int,
+) -> dict:
+    """The ``results`` tree of the consolidated sweep manifest."""
+    ordered = sorted(shard_docs, key=lambda d: int(d["index"]))
+    aggregator = (
+        aggregate_chaos if spec.kind == "chaos" else aggregate_experiment
+    )
+    docs_with_keys = attach_shard_keys(spec, ordered)
+    results: dict[str, Any] = {
+        "spec_hash": spec.spec_hash(),
+        "signature": results_signature(ordered),
+        "shards_total": shards_total,
+        "shards_completed": len(ordered),
+        "shards_failed": len(failures),
+        "failures": sorted(failures, key=lambda f: int(f["index"])),
+        "aggregates": aggregator(docs_with_keys),
+        "shards": docs_with_keys,
+    }
+    validate_sweep_results(results)
+    return results
+
+
+def attach_shard_keys(spec: Any, ordered: list[dict]) -> list[dict]:
+    """Re-derive each shard's axis key from the spec (keys are spec
+    structure, not worker output — workers stay dumb)."""
+    by_index = {shard.index: shard for shard in spec.expand()}
+    enriched = []
+    for doc in ordered:
+        shard = by_index.get(int(doc["index"]))
+        merged = dict(doc)
+        if shard is not None:
+            merged["key"] = dict(shard.key)
+        enriched.append(merged)
+    return enriched
+
+
+def validate_sweep_results(results: dict) -> dict:
+    """Schema check for the consolidated results tree."""
+    problems = []
+    for name, kind in (
+        ("spec_hash", str),
+        ("signature", str),
+        ("shards_total", int),
+        ("shards_completed", int),
+        ("shards_failed", int),
+        ("failures", list),
+        ("aggregates", dict),
+        ("shards", list),
+    ):
+        if name not in results:
+            problems.append(f"missing field {name!r}")
+        elif not isinstance(results[name], kind):
+            problems.append(
+                f"field {name!r} has type {type(results[name]).__name__}"
+            )
+    if not problems:
+        if results["shards_completed"] != len(results["shards"]):
+            problems.append("shards_completed != len(shards)")
+        if results["shards_failed"] != len(results["failures"]):
+            problems.append("shards_failed != len(failures)")
+        for doc in results["shards"]:
+            for field in DETERMINISTIC_SHARD_FIELDS:
+                if field not in doc:
+                    problems.append(
+                        f"shard document missing field {field!r}"
+                    )
+                    break
+        for failure in results["failures"]:
+            for field in ("shard_id", "index", "attempts", "error_type",
+                          "message"):
+                if field not in failure:
+                    problems.append(f"failure record missing {field!r}")
+                    break
+    if problems:
+        raise ValueError("invalid sweep results: " + "; ".join(problems))
+    return results
+
+
+def write_sweep_manifest(
+    spec: Any,
+    shard_docs: list[dict],
+    failures: list[dict],
+    shards_total: int,
+    out_dir: Optional[str] = None,
+    obs: Optional[Any] = None,
+) -> str:
+    """Write ``BENCH_sweep_<name>.json`` and return its path.
+
+    The shard documents' own obs captures are merged (summed counters,
+    combined histogram moments, merged profiles) and recorded inside
+    ``results`` so the consolidated manifest is self-contained."""
+    from repro.obs.manifest import write_manifest
+
+    results = build_sweep_results(spec, shard_docs, failures, shards_total)
+    snapshots = [d["metrics"] for d in results["shards"] if d.get("metrics")]
+    if snapshots:
+        results["merged_metrics"] = merge_metrics(snapshots)
+    profiles = [d["profile"] for d in results["shards"] if d.get("profile")]
+    if profiles:
+        results["merged_profile"] = merge_profiles(profiles)
+    return write_manifest(
+        f"sweep_{spec.name}",
+        params=spec.to_dict(),
+        results=results,
+        seed=spec.seed,
+        obs=obs if obs is not None and getattr(obs, "enabled", False) else None,
+        out_dir=out_dir,
+        merge=False,
+    )

@@ -1,0 +1,277 @@
+"""Declarative sweep specifications and their deterministic expansion.
+
+A sweep spec is a plain JSON document describing a full experiment
+grid — the paper-scale matrices (Fig. 7 is scenario x topology, the
+ez-Segway evaluation sweeps seeds per topology) as one file::
+
+    {
+      "name": "smoke",
+      "kind": "experiment",
+      "systems": ["p4update-sl", "p4update-dl", "ezsegway"],
+      "topologies": ["fig1", "six_node"],
+      "scenarios": ["single"],
+      "seeds": 2,
+      "params": {"max_sim_time_ms": 60000.0}
+    }
+
+:func:`SweepSpec.expand` flattens the grid into an ordered list of
+:class:`Shard` work units.  The contract that makes fleets resumable
+and worker-count-independent:
+
+* **Deterministic order** — shards are the cartesian product of the
+  axes in the fixed order (scenario, topology, seed index, system),
+  numbered from 0.  Same spec, same shard list, always.
+* **Stable identity** — :func:`spec_hash` is the SHA-256 of the
+  canonical spec JSON; the on-disk shard cache is keyed by
+  ``(spec_hash, shard_id)``, so editing a spec invalidates its cache.
+* **Stable seeds** — each shard's seed comes from
+  :func:`derive_shard_seed`, a SHA-256 over (spec seed, scenario,
+  topology, seed index).  The *system* axis is deliberately excluded:
+  every system in one grid cell sees the identical workload, which is
+  the paper's paired experiment design.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Optional
+
+from repro.harness.experiment import SYSTEMS
+from repro.params import SimParams
+
+SWEEP_KINDS = ("experiment", "chaos")
+
+SCENARIO_KINDS = ("single", "multi")
+
+#: Topologies an experiment sweep can name (mirrors the harness spec
+#: builders; parameterised families use ``name:arg`` forms).
+SWEEP_TOPOLOGIES = (
+    "fig1",
+    "fig2",
+    "six_node",
+    "b4",
+    "internet2",
+    "attmpls",
+    "chinanet",
+    "fattree4",
+)
+
+#: SimParams fields a spec may override (scalar knobs only — delay
+#: distributions stay code-defined so specs remain diffable data).
+_OVERRIDABLE_PARAMS = frozenset(
+    f.name
+    for f in dataclass_fields(SimParams)
+    if f.type in ("int", "float", "bool")
+)
+
+
+class SweepSpecError(ValueError):
+    """Raised for malformed sweep specifications."""
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of fleet work: a single (cell, seed, system) run."""
+
+    index: int
+    shard_id: str           # "s0007" — stable, sortable
+    kind: str               # experiment | chaos
+    key: dict               # the axis values selecting this shard
+    seed: int               # derived per-shard seed (see module doc)
+    payload: dict = field(repr=False)  # everything the worker needs
+
+    def describe(self) -> str:
+        axes = " ".join(f"{k}={v}" for k, v in sorted(self.key.items()))
+        return f"{self.shard_id} seed={self.seed} {axes}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A validated sweep description (see module docstring)."""
+
+    name: str
+    kind: str = "experiment"
+    seed: int = 0
+    description: str = ""
+    # -- experiment axes ---------------------------------------------------
+    systems: tuple[str, ...] = ("p4update",)
+    topologies: tuple[str, ...] = ("fig1",)
+    scenarios: tuple[str, ...] = ("single",)
+    seeds: tuple[int, ...] = (0,)
+    congestion_aware: bool = True
+    dionysus_install_delays: bool = False
+    params: dict = field(default_factory=dict)
+    # -- chaos axes --------------------------------------------------------
+    campaign: Optional[dict] = None
+    runs: int = 1
+    # -- instrumentation ---------------------------------------------------
+    obs: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SweepSpecError("sweep spec needs a non-empty 'name'")
+        if self.kind not in SWEEP_KINDS:
+            raise SweepSpecError(
+                f"unknown sweep kind {self.kind!r}; expected one of {SWEEP_KINDS}"
+            )
+        if self.kind == "experiment":
+            for system in self.systems:
+                if system not in SYSTEMS:
+                    raise SweepSpecError(
+                        f"unknown system {system!r}; known: {SYSTEMS}"
+                    )
+            for topology in self.topologies:
+                if topology not in SWEEP_TOPOLOGIES:
+                    raise SweepSpecError(
+                        f"unknown topology {topology!r}; "
+                        f"known: {SWEEP_TOPOLOGIES}"
+                    )
+            for scenario in self.scenarios:
+                if scenario not in SCENARIO_KINDS:
+                    raise SweepSpecError(
+                        f"unknown scenario {scenario!r}; "
+                        f"known: {SCENARIO_KINDS}"
+                    )
+            if not (self.systems and self.topologies and self.scenarios
+                    and self.seeds):
+                raise SweepSpecError("experiment sweep has an empty axis")
+        else:
+            if self.campaign is None:
+                raise SweepSpecError("chaos sweep needs a 'campaign' object")
+            if self.runs < 1:
+                raise SweepSpecError("chaos sweep needs runs >= 1")
+        unknown = set(self.params) - _OVERRIDABLE_PARAMS
+        if unknown:
+            raise SweepSpecError(
+                f"non-overridable SimParams field(s) {sorted(unknown)}; "
+                f"overridable: {sorted(_OVERRIDABLE_PARAMS)}"
+            )
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        doc: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "seed": self.seed,
+            "description": self.description,
+            "obs": self.obs,
+        }
+        if self.kind == "experiment":
+            doc.update(
+                systems=list(self.systems),
+                topologies=list(self.topologies),
+                scenarios=list(self.scenarios),
+                seeds=list(self.seeds),
+                congestion_aware=self.congestion_aware,
+                dionysus_install_delays=self.dionysus_install_delays,
+                params=dict(self.params),
+            )
+        else:
+            doc.update(campaign=dict(self.campaign or {}), runs=self.runs)
+        return doc
+
+    def spec_hash(self) -> str:
+        """SHA-256 of the canonical spec JSON — the cache key."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # -- expansion ---------------------------------------------------------
+
+    def expand(self) -> list[Shard]:
+        """The full, ordered shard list for this spec."""
+        shards: list[Shard] = []
+        if self.kind == "experiment":
+            grid = itertools.product(
+                self.scenarios, self.topologies, self.seeds, self.systems
+            )
+            for index, (scenario, topology, seed_index, system) in enumerate(grid):
+                key = {
+                    "scenario": scenario,
+                    "topology": topology,
+                    "seed_index": seed_index,
+                    "system": system,
+                }
+                seed = derive_shard_seed(
+                    self.seed, scenario, topology, seed_index
+                )
+                payload = {
+                    "kind": "experiment",
+                    "system": system,
+                    "topology": topology,
+                    "scenario": scenario,
+                    "seed": seed,
+                    "congestion_aware": self.congestion_aware,
+                    "dionysus_install_delays": self.dionysus_install_delays,
+                    "params": dict(self.params),
+                    "obs": self.obs,
+                }
+                shards.append(self._shard(index, key, seed, payload))
+        else:
+            campaign = dict(self.campaign or {})
+            base_seed = int(campaign.get("seed", self.seed))
+            for index in range(self.runs):
+                key = {"run": index, "campaign": campaign.get("name", self.name)}
+                payload = {
+                    "kind": "chaos",
+                    "campaign": campaign,
+                    "obs": self.obs,
+                }
+                shards.append(self._shard(index, key, base_seed, payload))
+        return shards
+
+    def _shard(self, index: int, key: dict, seed: int, payload: dict) -> Shard:
+        shard_id = f"s{index:04d}"
+        payload = dict(payload, shard_id=shard_id, index=index)
+        return Shard(
+            index=index, shard_id=shard_id, kind=self.kind,
+            key=key, seed=seed, payload=payload,
+        )
+
+
+def derive_shard_seed(
+    spec_seed: int, scenario: str, topology: str, seed_index: int
+) -> int:
+    """Stable per-cell seed: SHA-256, not ``hash()`` (which is salted
+    per process), over the workload-defining axes.  The system axis is
+    excluded so paired comparisons share workloads."""
+    material = f"{spec_seed}|{scenario}|{topology}|{seed_index}"
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31 - 1)
+
+
+def load_sweep_spec(data: dict) -> SweepSpec:
+    """Build a spec from a plain (JSON-decoded) dict."""
+    if not isinstance(data, dict):
+        raise SweepSpecError(f"sweep spec must be an object, got {type(data).__name__}")
+    payload = dict(data)
+    known = {f.name for f in dataclass_fields(SweepSpec)}
+    unknown = set(payload) - known
+    if unknown:
+        raise SweepSpecError(f"unknown sweep spec field(s) {sorted(unknown)}")
+    for axis in ("systems", "topologies", "scenarios"):
+        if axis in payload:
+            payload[axis] = tuple(payload[axis])
+    if "seeds" in payload:
+        seeds = payload["seeds"]
+        if isinstance(seeds, int):
+            payload["seeds"] = tuple(range(seeds))
+        else:
+            payload["seeds"] = tuple(int(s) for s in seeds)
+    try:
+        return SweepSpec(**payload)
+    except TypeError as exc:
+        raise SweepSpecError(str(exc)) from None
+
+
+def load_sweep_spec_file(path: str) -> SweepSpec:
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SweepSpecError(f"{path}: invalid JSON: {exc}") from None
+    return load_sweep_spec(data)

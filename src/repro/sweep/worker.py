@@ -1,0 +1,248 @@
+"""The per-shard execution body — identical in-process and in a pool.
+
+:func:`run_shard_payload` is the single entry point both execution
+paths share: the serial ``--workers 1`` path calls it inline, the
+:mod:`concurrent.futures` pool pickles the payload dict to a child
+process.  Either way each shard:
+
+1. calls :func:`repro.sim.reset_global_state` (fresh debug numbering,
+   as if the shard ran in a brand-new interpreter);
+2. builds a **fresh** obs context when instrumentation was requested
+   (per-process metric registries — nothing shared, nothing racy);
+3. runs the experiment / chaos campaign with seeds derived entirely
+   from the payload;
+4. returns a JSON-safe shard document whose ``results`` subtree
+   contains only simulated-time (deterministic) values — wall-clock
+   measurements are quarantined under ``wall`` so the fleet's
+   aggregate signature is independent of host speed and worker count.
+
+The bit-identity of (1)-(4) across process boundaries is asserted by
+``tests/sweep/test_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+import traceback
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.sim.reset import reset_global_state
+
+#: Scenario-stream domain separator (distinct from the params seed use).
+_SCENARIO_STREAM = 0x5CE2
+
+
+class InjectedShardFault(RuntimeError):
+    """Raised by the test-only fault hook (see :func:`_maybe_inject`)."""
+
+
+def run_shard_payload(payload: dict) -> dict:
+    """Execute one shard and return its JSON-safe document."""
+    reset_global_state()
+    _maybe_inject(payload)
+    obs = _build_obs(payload)
+    started = time.perf_counter()  # repro: ignore[wall-clock] shard wall-time bookkeeping
+    if payload["kind"] == "experiment":
+        results = _run_experiment_shard(payload, obs)
+    elif payload["kind"] == "chaos":
+        results = _run_chaos_shard(payload, obs)
+    else:
+        raise ValueError(f"unknown shard kind {payload['kind']!r}")
+    duration = time.perf_counter() - started  # repro: ignore[wall-clock] shard wall-time bookkeeping
+
+    # Runner-reported wall-clock measurements are lifted out of the
+    # results subtree: ``results`` must stay deterministic.
+    wall: dict[str, Any] = dict(results.pop("_wall", {}))
+    wall.update(duration_s=duration, pid=os.getpid())
+    doc: dict[str, Any] = {
+        "shard_id": payload["shard_id"],
+        "index": payload["index"],
+        "kind": payload["kind"],
+        "seed": payload.get("seed"),
+        "results": _json_safe(results),
+        "wall": _json_safe(wall),
+    }
+    if obs is not None:
+        captured = obs.snapshot()
+        doc["metrics"] = _json_safe(captured.get("metrics", {}))
+        doc["spans"] = _json_safe(captured.get("spans", []))
+        if "profile" in captured:
+            doc["profile"] = _json_safe(captured["profile"])
+    return doc
+
+
+def worker_init() -> None:
+    """Pool initializer: fresh global state for the child process.
+
+    Each shard resets again (a worker serves many shards), but doing
+    it here too keeps even shard-free children deterministic."""
+    reset_global_state()
+
+
+# -- shard kinds -------------------------------------------------------------
+
+
+def _run_experiment_shard(payload: dict, obs: Optional[Any]) -> dict:
+    from repro.harness.experiment import run_experiment
+    from repro.harness.scenarios import multi_flow_scenario, single_flow_scenario
+    from repro.obs.context import NULL_OBS
+    from repro.params import SimParams
+
+    seed = int(payload["seed"])
+    topo = _topology(payload["topology"])
+    scenario_rng = np.random.default_rng([seed, _SCENARIO_STREAM])
+    try:
+        if payload["scenario"] == "single":
+            scenario = single_flow_scenario(topo, rng=scenario_rng)
+        else:
+            scenario = multi_flow_scenario(topo, rng=scenario_rng)
+    except RuntimeError as exc:
+        # Workload generation can legitimately fail (no feasible
+        # near-capacity reroute, §9.1); same seed -> same failure, so
+        # this is a deterministic *result*, not a shard crash.
+        return {
+            "completed": False,
+            "scenario_error": str(exc),
+            "flows": 0,
+        }
+
+    params = SimParams(seed=seed)
+    if payload.get("params"):
+        import dataclasses
+
+        params = dataclasses.replace(params, **payload["params"])
+    if payload.get("dionysus_install_delays"):
+        params = params.with_dionysus_install_delay()
+
+    result = run_experiment(
+        payload["system"],
+        scenario,
+        params=params,
+        congestion_aware=bool(payload.get("congestion_aware", True)),
+        obs=obs if obs is not None else NULL_OBS,
+    )
+    return {
+        "completed": result.completed,
+        "consistency_ok": result.consistency_ok,
+        "violations": result.violations,
+        "alarms": result.alarms,
+        "total_update_time_ms": result.total_update_time_ms,
+        "per_flow_ms": {str(k): v for k, v in sorted(result.per_flow_ms.items())},
+        "flows": len(scenario.flows),
+        "scenario": scenario.description,
+        # prep_time_s is host-side work -> wall-clock, keep it out of
+        # the deterministic results subtree.
+        "_wall": {"prep_time_s": result.prep_time_s},
+    }
+
+
+def _run_chaos_shard(payload: dict, obs: Optional[Any]) -> dict:
+    from repro.chaos.campaign import load_campaign
+    from repro.chaos.runner import run_campaign
+
+    campaign = load_campaign(payload["campaign"])
+    result = run_campaign(campaign, obs=obs)
+    return result.to_results()
+
+
+def _topology(name: str) -> Any:
+    from repro.topo import (
+        attmpls_topology,
+        b4_topology,
+        chinanet_topology,
+        fattree_topology,
+        fig1_topology,
+        fig2_topology,
+        internet2_topology,
+        six_node_topology,
+    )
+
+    factories: dict[str, Callable[[], Any]] = {
+        "fig1": fig1_topology,
+        "fig2": fig2_topology,
+        "six_node": six_node_topology,
+        "b4": b4_topology,
+        "internet2": internet2_topology,
+        "attmpls": attmpls_topology,
+        "chinanet": chinanet_topology,
+        "fattree4": lambda: fattree_topology(4),
+    }
+    return factories[name]()
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _build_obs(payload: dict) -> Optional[Any]:
+    if not (payload.get("obs") or payload.get("profile")):
+        return None
+    from repro.obs.context import make_obs
+
+    return make_obs(profile=bool(payload.get("profile")))
+
+
+def _maybe_inject(payload: dict) -> None:
+    """Test-only crash hook, threaded through ``run_sweep(inject=...)``.
+
+    Modes: ``always`` raises on every attempt; ``once`` raises on the
+    first attempt per shard (a marker file under ``marker_dir`` keeps
+    cross-attempt state); ``kill`` hard-exits the worker process to
+    exercise pool-crash isolation."""
+    inject = payload.get("_inject")
+    if not inject or payload["shard_id"] not in inject.get("shard_ids", ()):
+        return
+    mode = inject.get("mode", "always")
+    if mode == "always":
+        raise InjectedShardFault(f"injected failure in {payload['shard_id']}")
+    if mode == "once":
+        marker = os.path.join(
+            inject["marker_dir"], f"{payload['shard_id']}.failed-once"
+        )
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="utf-8") as handle:
+                handle.write("injected\n")
+            raise InjectedShardFault(
+                f"injected one-shot failure in {payload['shard_id']}"
+            )
+        return
+    if mode == "kill":
+        os._exit(13)
+    raise ValueError(f"unknown injection mode {mode!r}")
+
+
+def _json_safe(obj: Any) -> Any:
+    """Recursively convert to plain JSON types; non-finite floats
+    become ``None`` (strict-JSON manifests, diffable everywhere)."""
+    if isinstance(obj, dict):
+        return {str(k): _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v) for v in obj]
+    if isinstance(obj, (bool, str)) or obj is None:
+        return obj
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        return value if math.isfinite(value) else None
+    return str(obj)
+
+
+def failure_record(
+    shard_id: str, index: int, attempts: int, exc: BaseException
+) -> dict:
+    """The structured ``ShardFailure`` document (JSON-safe)."""
+    tb = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    return {
+        "shard_id": shard_id,
+        "index": index,
+        "attempts": attempts,
+        "error_type": type(exc).__name__,
+        "message": str(exc),
+        "traceback_tail": tb[-2000:],
+    }

@@ -99,3 +99,77 @@ def test_corrupt_existing_manifest_is_replaced(tmp_path):
     target.write_text("not json at all")
     path = write_manifest("m3", results={"ok": 1}, out_dir=str(tmp_path))
     assert load_manifest(path)["results"] == {"ok": 1}
+
+
+def test_duplicate_names_in_different_out_dirs_do_not_merge(tmp_path):
+    """Same manifest name, different out dirs: two independent files —
+    the out-dir override really overrides, merging is per path."""
+    a_dir = tmp_path / "a"
+    b_dir = tmp_path / "b"
+    path_a = write_manifest("dup", results={"x": 1.0}, out_dir=str(a_dir))
+    path_b = write_manifest("dup", results={"y": 2.0}, out_dir=str(b_dir))
+    assert path_a != path_b
+    assert load_manifest(path_a)["results"] == {"x": 1.0}
+    assert load_manifest(path_b)["results"] == {"y": 2.0}
+
+
+def test_out_dir_beats_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "env"))
+    path = write_manifest(
+        "prio", results={"z": 3.0}, out_dir=str(tmp_path / "explicit"),
+    )
+    assert path == str(tmp_path / "explicit" / "BENCH_prio.json")
+    assert load_manifest(path)["results"] == {"z": 3.0}
+
+
+def test_write_manifest_creates_missing_out_dir(tmp_path):
+    nested = tmp_path / "deep" / "er"
+    path = write_manifest("mk", results={"ok": 1.0}, out_dir=str(nested))
+    assert nested.is_dir()
+    assert load_manifest(path)["results"] == {"ok": 1.0}
+
+
+def test_repeated_merge_round_trip_accumulates_once_per_key(tmp_path):
+    """Three emissions under one name: the on-disk manifest converges
+    to the union, stays schema-valid, and never duplicates keys."""
+    for i in range(3):
+        write_manifest(
+            "acc", params={f"p{i}": i}, results={f"cell_{i}": float(i)},
+            out_dir=str(tmp_path),
+        )
+    doc = load_manifest(manifest_path("acc", str(tmp_path)))
+    validate_manifest(doc)
+    assert doc["params"] == {"p0": 0, "p1": 1, "p2": 2}
+    assert doc["results"] == {"cell_0": 0.0, "cell_1": 1.0, "cell_2": 2.0}
+
+
+def test_consolidated_sweep_manifest_is_schema_valid(tmp_path):
+    """The sweep layer's consolidated manifest is a plain schema-1
+    manifest: loadable here, with the sweep results tree passing its
+    own validator."""
+    from repro.sweep.executor import run_sweep
+    from repro.sweep.merge import validate_sweep_results, write_sweep_manifest
+    from repro.sweep.spec import load_sweep_spec
+
+    spec = load_sweep_spec({
+        "name": "obscheck", "systems": ["p4update-sl"],
+        "topologies": ["fig1"], "scenarios": ["single"], "seeds": 1,
+    })
+    run = run_sweep(spec, workers=1, cache_dir=str(tmp_path / "cache"))
+    path = write_sweep_manifest(
+        spec, run.shard_docs, run.failures, run.shards_total,
+        out_dir=str(tmp_path),
+    )
+    doc = load_manifest(path)
+    validate_manifest(doc)
+    assert doc["name"] == "sweep_obscheck"
+    assert doc["seed"] == spec.seed
+    validate_sweep_results(doc["results"])
+    # A second write of the same sweep does not merge stale state in
+    # (sweep manifests are written with merge=False).
+    write_sweep_manifest(
+        spec, run.shard_docs, run.failures, run.shards_total,
+        out_dir=str(tmp_path),
+    )
+    again = load_manifest(path)
+    assert again["results"]["signature"] == doc["results"]["signature"]

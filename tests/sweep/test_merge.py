@@ -1,0 +1,184 @@
+"""Deterministic merge: metrics, profiles, aggregates, the manifest."""
+
+import pytest
+
+from repro.obs.manifest import load_manifest
+from repro.sweep.executor import run_sweep
+from repro.sweep.merge import (
+    attach_shard_keys,
+    build_sweep_results,
+    format_profile,
+    merge_metrics,
+    merge_profiles,
+    results_signature,
+    validate_sweep_results,
+    write_sweep_manifest,
+)
+from repro.sweep.spec import load_sweep_spec
+
+
+def _doc(index, results, **extra):
+    return {
+        "shard_id": f"s{index:04d}", "index": index, "kind": "experiment",
+        "seed": 7, "results": results, "wall": {"duration_s": 0.1},
+        **extra,
+    }
+
+
+def test_signature_is_order_independent():
+    docs = [_doc(i, {"x": i}) for i in range(4)]
+    assert results_signature(docs) == results_signature(docs[::-1])
+
+
+def test_merge_metrics_sums_counters_and_combines_histograms():
+    a = {
+        "messages": [{"labels": {"node": "v1"}, "type": "counter", "value": 3}],
+        "latency": [{"labels": {}, "type": "histogram", "count": 2,
+                     "sum": 10.0, "min": 4.0, "max": 6.0, "mean": 5.0}],
+    }
+    b = {
+        "messages": [
+            {"labels": {"node": "v1"}, "type": "counter", "value": 2},
+            {"labels": {"node": "v2"}, "type": "counter", "value": 1},
+        ],
+        "latency": [{"labels": {}, "type": "histogram", "count": 1,
+                     "sum": 2.0, "min": 2.0, "max": 2.0, "mean": 2.0}],
+    }
+    merged = merge_metrics([a, b])
+    by_node = {row["labels"].get("node"): row for row in merged["messages"]}
+    assert by_node["v1"]["value"] == 5
+    assert by_node["v2"]["value"] == 1
+    hist = merged["latency"][0]
+    assert hist["count"] == 3
+    assert hist["sum"] == 12.0
+    assert hist["min"] == 2.0 and hist["max"] == 6.0
+    assert hist["mean"] == pytest.approx(4.0)
+
+
+def test_merge_metrics_empty_histogram_snapshot():
+    empty = {"h": [{"labels": {}, "type": "histogram", "count": 0}]}
+    merged = merge_metrics([empty, empty])
+    assert merged["h"][0]["count"] == 0
+
+
+def test_merge_profiles_sums_and_recomputes_mean():
+    a = [{"target": "Switch.on_unm", "calls": 10, "total_ms": 2.0,
+          "mean_us": 200.0, "max_us": 400.0}]
+    b = [{"target": "Switch.on_unm", "calls": 30, "total_ms": 6.0,
+          "mean_us": 200.0, "max_us": 900.0},
+         {"target": "Engine.tick", "calls": 5, "total_ms": 10.0,
+          "mean_us": 2000.0, "max_us": 2500.0}]
+    merged = merge_profiles([a, b])
+    # Sorted by total time descending.
+    assert [row["target"] for row in merged] == [
+        "Engine.tick", "Switch.on_unm",
+    ]
+    unm = merged[1]
+    assert unm["calls"] == 40
+    assert unm["total_ms"] == pytest.approx(8.0)
+    assert unm["max_us"] == 900.0
+    assert unm["mean_us"] == pytest.approx(8.0 * 1000.0 / 40)
+    table = format_profile(merged)
+    assert "Engine.tick" in table and "target" in table
+
+
+def test_build_sweep_results_validates_and_counts():
+    spec = load_sweep_spec({
+        "name": "t", "systems": ["p4update-sl"], "topologies": ["fig1"],
+        "scenarios": ["single"], "seeds": 2,
+    })
+    docs = [
+        _doc(0, {"completed": True, "total_update_time_ms": 10.0,
+                 "violations": 0}),
+        _doc(1, {"completed": True, "total_update_time_ms": 30.0,
+                 "violations": 0}),
+    ]
+    results = build_sweep_results(spec, docs, [], 2)
+    assert results["shards_completed"] == 2 and results["shards_failed"] == 0
+    cell = results["aggregates"]["cells"]["single/fig1/p4update-sl"]
+    assert cell["paired_runs"] == 2
+    assert cell["mean_update_ms"] == pytest.approx(20.0)
+    validate_sweep_results(results)
+
+
+def test_incomplete_group_is_skipped_from_pairing():
+    spec = load_sweep_spec({
+        "name": "t", "systems": ["p4update-sl", "ezsegway"],
+        "topologies": ["fig1"], "scenarios": ["single"], "seeds": 1,
+    })
+    docs = [
+        _doc(0, {"completed": True, "total_update_time_ms": 10.0,
+                 "violations": 0}),
+        _doc(1, {"completed": False, "total_update_time_ms": None,
+                 "violations": 0}),
+    ]
+    results = build_sweep_results(spec, docs, [], 2)
+    assert results["aggregates"]["skipped_groups"] == 1
+    cell = results["aggregates"]["cells"]["single/fig1/p4update-sl"]
+    assert cell["paired_runs"] == 0 and cell["mean_update_ms"] is None
+
+
+def test_validate_sweep_results_rejects_malformed():
+    with pytest.raises(ValueError, match="missing field 'signature'"):
+        validate_sweep_results({"spec_hash": "x"})
+    spec = load_sweep_spec({
+        "name": "t", "systems": ["p4update-sl"], "topologies": ["fig1"],
+        "scenarios": ["single"], "seeds": 1,
+    })
+    good = build_sweep_results(spec, [_doc(0, {"completed": True})], [], 1)
+    broken = dict(good, shards_completed=5)
+    with pytest.raises(ValueError, match="shards_completed"):
+        validate_sweep_results(broken)
+
+
+def test_attach_shard_keys_rederives_axes():
+    spec = load_sweep_spec({
+        "name": "t", "systems": ["p4update-sl", "p4update-dl"],
+        "topologies": ["fig1"], "scenarios": ["single"], "seeds": 1,
+    })
+    docs = [_doc(0, {"completed": True}), _doc(1, {"completed": True})]
+    enriched = attach_shard_keys(spec, docs)
+    assert enriched[0]["key"]["system"] == "p4update-sl"
+    assert enriched[1]["key"]["system"] == "p4update-dl"
+    # The inputs are not mutated.
+    assert "key" not in docs[0]
+
+
+def test_sweep_manifest_round_trip_and_schema(tmp_path):
+    """The consolidated manifest is a schema-valid BENCH manifest whose
+    results tree passes the sweep-specific validator after reload."""
+    spec = load_sweep_spec({
+        "name": "mini", "systems": ["p4update-sl"], "topologies": ["fig1"],
+        "scenarios": ["single"], "seeds": 1,
+    })
+    run = run_sweep(spec, workers=1, cache_dir=str(tmp_path / "cache"))
+    assert run.ok
+    path = write_sweep_manifest(
+        spec, run.shard_docs, run.failures, run.shards_total,
+        out_dir=str(tmp_path),
+    )
+    doc = load_manifest(path)
+    assert doc["name"] == "sweep_mini"
+    assert doc["params"] == spec.to_dict()
+    validate_sweep_results(doc["results"])
+    assert doc["results"]["signature"] == run.signature()
+
+
+def test_sweep_manifest_merges_profiles(tmp_path):
+    spec = load_sweep_spec({
+        "name": "prof", "systems": ["p4update-sl"], "topologies": ["fig1"],
+        "scenarios": ["single"], "seeds": 1,
+    })
+    run = run_sweep(
+        spec, workers=1, cache_dir=str(tmp_path / "cache"), profile=True,
+    )
+    assert run.ok
+    assert all(d.get("profile") for d in run.shard_docs)
+    path = write_sweep_manifest(
+        spec, run.shard_docs, run.failures, run.shards_total,
+        out_dir=str(tmp_path),
+    )
+    doc = load_manifest(path)
+    merged = doc["results"]["merged_profile"]
+    assert merged and all("target" in row for row in merged)
+    assert sum(row["calls"] for row in merged) > 0

@@ -1,0 +1,75 @@
+"""The global-state audit behind ``repro.sim.reset_global_state``.
+
+The sweep's per-process determinism rests on one claim: the only
+module-level mutable counter in ``src/repro`` is the packet-id stream
+in ``repro.p4.packet`` (everything else — metric registries, engine
+event counters, baseline sequence numbers — is instance state, rebuilt
+per deployment).  These tests pin the claim and the reset registry's
+behaviour so a future module-level counter must register a hook here
+or fail the audit."""
+
+import glob
+import os
+import re
+
+from repro.p4.packet import Packet
+from repro.sim.reset import (
+    register_global_reset,
+    registered_resets,
+    reset_global_state,
+)
+
+SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))),
+    "src", "repro",
+)
+
+#: Module-level statements that create mutable cross-run state.
+_COUNTER_PATTERN = re.compile(
+    r"^[A-Za-z_][A-Za-z0-9_]*\s*=\s*(?:itertools\.)?count\(", re.MULTILINE
+)
+
+
+def test_packet_ids_is_the_only_module_level_counter():
+    offenders = {}
+    for path in glob.glob(os.path.join(SRC, "**", "*.py"), recursive=True):
+        hits = _COUNTER_PATTERN.findall(open(path, encoding="utf-8").read())
+        if hits:
+            offenders[os.path.relpath(path, SRC)] = hits
+    assert set(offenders) == {os.path.join("p4", "packet.py")}, (
+        "new module-level counter(s) found — register a reset hook via "
+        f"repro.sim.register_global_reset and extend this audit: {offenders}"
+    )
+
+
+def test_default_registry_covers_packet_ids():
+    assert "p4.packet_ids" in registered_resets()
+
+
+def test_reset_restarts_packet_numbering():
+    reset_global_state()
+    first = Packet().packet_id
+    Packet()
+    reset_global_state()
+    again = Packet().packet_id
+    assert again == first == 1
+
+
+def test_register_is_idempotent_per_name_and_hooks_run():
+    calls = []
+    register_global_reset("test.probe", lambda: calls.append("a"))
+    # Re-registering the same name replaces, not duplicates.
+    register_global_reset("test.probe", lambda: calls.append("b"))
+    try:
+        assert registered_resets().count("test.probe") == 1
+        reset_global_state()
+        assert calls == ["b"]
+    finally:
+        # Leave the global registry as we found it.
+        from repro.sim import reset as reset_module
+
+        reset_module._RESET_HOOKS[:] = [
+            (name, hook) for name, hook in reset_module._RESET_HOOKS
+            if name != "test.probe"
+        ]
