@@ -18,19 +18,25 @@ the number of Python function calls each preparation executes
 (counted via ``sys.setprofile``).  Call counts are identical across
 runs and machines, so CI cannot flake on a loaded host, while the
 ratios they produce sit in the same bands as the wall-clock ones.
+
+The measurement core is shared with the sweep executor — see
+:mod:`repro.harness.prep` (``repro fig8 --workers N`` runs the same
+counts as fleet shards).
 """
 
-import sys
-import time
-
-import numpy as np
 from benchutils import emit_manifest, print_header
 
-from repro.baselines.ezsegway import congestion_dependency_graph, prepare_ez_update
-from repro.core.messages import UpdateType
-from repro.harness.build import build_p4update_network
-from repro.harness.scenarios import multi_flow_scenario
-from repro.params import SimParams
+from repro.harness.prep import (
+    DEFAULT_COUNT_UPDATES as COUNT_UPDATES,
+    DEFAULT_UPDATES as UPDATES,
+    FIG8_LABELS,
+    FIG8_TOPOLOGIES,
+    count_operations,
+    prep_workload,
+    time_ez,
+    time_ez_congestion,
+    time_p4update,
+)
 from repro.topo import (
     attmpls_topology,
     b4_topology,
@@ -39,124 +45,13 @@ from repro.topo import (
 )
 
 TOPOLOGIES = [
-    ("B4 (12, 19)", b4_topology),
-    ("Internet2 (16, 26)", internet2_topology),
-    ("AttMpls (25, 56)", attmpls_topology),
-    ("Chinanet (38, 62)", chinanet_topology),
+    (FIG8_LABELS["b4"], b4_topology),
+    (FIG8_LABELS["internet2"], internet2_topology),
+    (FIG8_LABELS["attmpls"], attmpls_topology),
+    (FIG8_LABELS["chinanet"], chinanet_topology),
 ]
 
-UPDATES = 1000
-#: Updates per operation-count measurement: call counts scale linearly
-#: in the update count, so a smaller sample keeps the assertion cheap.
-COUNT_UPDATES = 50
-
-
-def count_calls(fn) -> int:
-    """Python function calls executed by ``fn()`` — a deterministic
-    operation count (same code + same inputs -> same number)."""
-    calls = 0
-
-    def tracer(frame, event, arg):
-        nonlocal calls
-        if event == "call":
-            calls += 1
-
-    previous = sys.getprofile()
-    sys.setprofile(tracer)
-    try:
-        fn()
-    finally:
-        sys.setprofile(previous)
-    return calls
-
-
-def _prep_workload(topo_factory):
-    """A deployment plus flows to prepare updates for."""
-    topo = topo_factory()
-    scenario = multi_flow_scenario(topo, np.random.default_rng(0))
-    deployment = build_p4update_network(topo, params=SimParams(seed=0))
-    for flow in scenario.flows:
-        deployment.install_flow(flow)
-    # Warm the controller's NIB port cache (not part of per-update cost).
-    first = scenario.flows[0]
-    deployment.controller.prepare_update(
-        first.flow_id, list(first.new_path), UpdateType.DUAL
-    )
-    return topo, scenario, deployment
-
-
-def _best_of(fn, repeats: int = 3) -> float:
-    """Best-of-N wall time: robust against transient CPU contention."""
-    return min(fn() for _ in range(repeats))
-
-
-def _time_p4update(deployment, flows, updates=UPDATES) -> float:
-    def once() -> float:
-        start = time.perf_counter()
-        for i in range(updates):
-            flow = flows[i % len(flows)]
-            deployment.controller.prepare_update(
-                flow.flow_id, list(flow.new_path), UpdateType.DUAL,
-                congestion_aware=False,
-            )
-        return time.perf_counter() - start
-
-    return _best_of(once)
-
-
-def _time_ez(flows, updates=UPDATES) -> float:
-    def once() -> float:
-        start = time.perf_counter()
-        for i in range(updates):
-            flow = flows[i % len(flows)]
-            prepare_ez_update(
-                flow, list(flow.old_path), list(flow.new_path), update_id=i + 1
-            )
-        return time.perf_counter() - start
-
-    return _best_of(once)
-
-
-def _time_ez_congestion(topo, flows, updates=UPDATES) -> float:
-    capacities = {frozenset((e.a, e.b)): e.capacity for e in topo.edges}
-    rounds = 20
-    start = time.perf_counter()
-    for _ in range(rounds):
-        congestion_dependency_graph(flows, capacities)
-    per_recompute = (time.perf_counter() - start) / rounds
-    # One dependency-graph recomputation per update (the graph must
-    # reflect the current flow placement when each update is issued).
-    return per_recompute * updates + _time_ez(flows, updates)
-
-
-def count_operations(topo, deployment, flows, updates=COUNT_UPDATES):
-    """Deterministic operation counts for the three preparations."""
-
-    def p4() -> None:
-        for i in range(updates):
-            flow = flows[i % len(flows)]
-            deployment.controller.prepare_update(
-                flow.flow_id, list(flow.new_path), UpdateType.DUAL,
-                congestion_aware=False,
-            )
-
-    def ez() -> None:
-        for i in range(updates):
-            flow = flows[i % len(flows)]
-            prepare_ez_update(
-                flow, list(flow.old_path), list(flow.new_path), update_id=i + 1
-            )
-
-    capacities = {frozenset((e.a, e.b)): e.capacity for e in topo.edges}
-
-    def ez_congestion() -> None:
-        # One dependency-graph recomputation per update, plus the
-        # plain ez-Segway preparation itself.
-        for _ in range(updates):
-            congestion_dependency_graph(flows, capacities)
-        ez()
-
-    return count_calls(p4), count_calls(ez), count_calls(ez_congestion)
+assert len(TOPOLOGIES) == len(FIG8_TOPOLOGIES)
 
 
 def collect_ratios(obs=None):
@@ -166,14 +61,14 @@ def collect_ratios(obs=None):
     rows = []
     for label, topo_factory in TOPOLOGIES:
         with obs.spans.span("preparation_workload", topology=label):
-            topo, scenario, deployment = _prep_workload(topo_factory)
+            topo, scenario, deployment = prep_workload(topo_factory)
             flows = scenario.flows
             with obs.spans.span("time_p4update"):
-                t_p4 = _time_p4update(deployment, flows)
+                t_p4 = time_p4update(deployment, flows)
             with obs.spans.span("time_ezsegway"):
-                t_ez = _time_ez(flows)
+                t_ez = time_ez(flows)
             with obs.spans.span("time_ezsegway_congestion"):
-                t_ez_cong = _time_ez_congestion(topo, flows)
+                t_ez_cong = time_ez_congestion(topo, flows)
             with obs.spans.span("count_operations"):
                 ops = count_operations(topo, deployment, flows)
         if obs.enabled:

@@ -16,7 +16,11 @@ simulated time; same seed -> same trace):
   leaks state between calls (and between runs in one process);
 * ``unguarded-obs`` — metric calls outside an ``.enabled`` guard
   allocate label tuples even when observability is off, violating the
-  zero-overhead contract of :mod:`repro.obs`.
+  zero-overhead contract of :mod:`repro.obs`;
+* ``blocking-in-service`` — real-thread blocking (``time.sleep``,
+  timed ``Queue.get``/``join``/``acquire``/``wait``) inside service
+  code stalls the host instead of the simulated clock; all waiting
+  must be expressed as engine events.
 """
 
 from __future__ import annotations
@@ -174,6 +178,54 @@ class MutableDefaultRule(LintRule):
                         f"create inside the body (or a dataclass "
                         f"default_factory)",
                     )
+
+
+#: Calls that always block the real thread.
+BLOCKING_CALLS = {
+    "time.sleep",
+    "select.select",
+    "signal.pause",
+    "os.wait",
+    "os.waitpid",
+}
+
+#: Attribute calls that block when given a ``timeout=`` keyword
+#: (``queue.Queue.get(timeout=...)``, ``threading.Event.wait(...)``,
+#: ``Thread.join(...)``, lock ``acquire(timeout=...)``).
+_TIMED_BLOCKING_ATTRS = {"get", "join", "acquire", "wait"}
+
+
+@register_rule
+class BlockingInServiceRule(LintRule):
+    name = "blocking-in-service"
+    description = (
+        "real-thread blocking call; service code must wait on the "
+        "simulated clock (engine.schedule), never the host's"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node.func)
+            if target in BLOCKING_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"{target}() blocks the real thread; schedule an "
+                    f"engine event instead",
+                )
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _TIMED_BLOCKING_ATTRS
+                and any(kw.arg == "timeout" for kw in node.keywords)
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f".{func.attr}(timeout=...) waits on the real clock; "
+                    f"model the wait as a simulated-time event",
+                )
 
 
 _METRIC_METHODS = {"counter", "gauge", "histogram"}

@@ -16,7 +16,7 @@ scheduler in the data plane.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 import networkx as nx
 import numpy as np
@@ -31,7 +31,7 @@ from repro.core.messages import (
     TagFlip,
     UpdateType,
 )
-from repro.core.registers import LOCAL_DELIVER_PORT
+from repro.core.registers import LOCAL_DELIVER_PORT, VERSION_WIDTH_BITS
 from repro.core.segmentation import compute_gateways, compute_segments
 from repro.core.strategy import choose_update_type
 from repro.params import SimParams
@@ -120,7 +120,16 @@ class P4UpdateController(Node):
         self.params = params if params is not None else SimParams()
         self.rng = rng if rng is not None else self.params.rng()
         self.flow_db: dict[int, FlowRecord] = {}
-        self.versions = VersionAllocator()
+        # Version bits live in the data plane's 16-bit version
+        # registers (Table 1); the allocator refuses to wrap them.
+        self.versions = VersionAllocator(width_bits=VERSION_WIDTH_BITS)
+        # Update-lifecycle listeners (repro.serve orchestration):
+        # called as listener(event, flow_id, version) for events in
+        # {"completed", "aborted", "reissued", "parked"}.  Empty by
+        # default, so plain experiment runs are untouched.
+        self.update_listeners: list[
+            Callable[[str, int, Optional[int]], None]
+        ] = []
         self.reported_flows: list[FRM] = []
         self.alarms: list[UFM] = []
         # §11 failure handling: prepared updates kept for re-triggering
@@ -155,6 +164,14 @@ class P4UpdateController(Node):
             return 0.0
         mean_wait = util / (1.0 - util) * self.params.controller_service.value
         return float(self.rng.exponential(mean_wait))
+
+    # -- update lifecycle notifications (repro.serve) ----------------------
+
+    def _notify_update(
+        self, event: str, flow_id: int, version: Optional[int]
+    ) -> None:
+        for listener in self.update_listeners:
+            listener(event, flow_id, version)
 
     # -- flow DB -------------------------------------------------------------------
 
@@ -514,6 +531,7 @@ class P4UpdateController(Node):
                     self.now, KIND_UPDATE_ABORTED, self.name,
                     flow=flow_id, version=aborted_version,
                 )
+            self._notify_update("aborted", flow_id, aborted_version)
         src = record.current_path[0]
         dst = record.current_path[-1]
         graph = self._working_graph()
@@ -532,6 +550,7 @@ class P4UpdateController(Node):
             self.obs.metrics.counter("flow_reroutes", node=self.name).inc()
         prepared = self.prepare_update(flow_id, list(new_path))
         self.push_update(prepared)
+        self._notify_update("reissued", flow_id, prepared.version)
 
     def _park_flow(self, record: FlowRecord, reason: str) -> None:
         flow_id = record.flow.flow_id
@@ -554,6 +573,7 @@ class P4UpdateController(Node):
                 self.now, KIND_FLOW_PARKED, self.name,
                 flow=flow_id, reason=reason,
             )
+        self._notify_update("parked", flow_id, None)
 
     def _retry_parked(self) -> None:
         """The topology healed (a port came back): retry parked flows."""
@@ -642,6 +662,7 @@ class P4UpdateController(Node):
                     self.now, KIND_UPDATE_DONE, self.name,
                     flow=ufm.flow_id, version=ufm.version,
                 )
+            self._notify_update("completed", ufm.flow_id, ufm.version)
 
     def _retrigger(self, flow_id: int, version: int) -> None:
         """§11: resend the UIM to the node(s) that regenerate UNMs —

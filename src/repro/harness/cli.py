@@ -16,7 +16,10 @@ Commands regenerate individual experiments without pytest:
   and assert consistency + determinism (:mod:`repro.chaos`);
 * ``sweep`` — fleet orchestration: expand a declarative sweep spec
   into shards and execute them across worker processes with crash
-  isolation, resume and a consolidated manifest (:mod:`repro.sweep`).
+  isolation, resume and a consolidated manifest (:mod:`repro.sweep`);
+* ``serve`` — the tenant-facing concurrent update-request service:
+  admission control, dependency-aware orchestration and SLO metrics
+  over the verified update path (:mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -88,15 +91,40 @@ def cmd_fig7(args) -> int:
 
 
 def cmd_fig8(args) -> int:
-    import subprocess
+    from repro.harness.prep import FIG8_LABELS, fig8_sweep_spec
+    from repro.sweep.executor import run_sweep
+    from repro.sweep.merge import aggregate_prep, attach_shard_keys
 
-    return subprocess.call(
-        [
-            sys.executable, "-m", "pytest",
-            "benchmarks/bench_fig8_preparation.py",
-            "--benchmark-only", "-s", "-q",
-        ]
+    spec = fig8_sweep_spec(
+        updates=args.updates, count_updates=args.count_updates, seed=args.seed
     )
+    run = run_sweep(spec, workers=args.workers, cache_dir=args.cache_dir,
+                    resume=args.resume)
+    for failure in run.failures:
+        print(
+            f"SHARD FAILURE {failure['shard_id']}: "
+            f"{failure['error_type']}: {failure['message']}",
+            file=sys.stderr,
+        )
+    aggregates = aggregate_prep(attach_shard_keys(spec, run.shard_docs))
+    print(f"deterministic operation counts ({args.count_updates} updates)")
+    for topology, row in aggregates["topologies"].items():
+        label = FIG8_LABELS.get(topology, topology)
+        print(f"{label:22s} p4={row['p4update_ops']:8d} "
+              f"ez={row['ez_ops']:8d} ez+cong={row['ez_congestion_ops']:9d}  "
+              f"ratio_a={row['ratio_a']:5.2f}  ratio_b={row['ratio_b']:7.4f}")
+    print("fig8a ratio < 1.0:  "
+          + ("PASS" if aggregates["ratio_a_below_one"] else "FAIL")
+          + "   (paper: 0.68-0.73)")
+    print("fig8b ratio < 0.2:  "
+          + ("PASS" if aggregates["ratio_b_below_fifth"] else "FAIL")
+          + "   (paper: 0.002-0.02)")
+    ok = (
+        run.ok
+        and aggregates["ratio_a_below_one"]
+        and aggregates["ratio_b_below_fifth"]
+    )
+    return 0 if ok else 1
 
 
 def cmd_run(args) -> int:
@@ -260,7 +288,21 @@ def main(argv=None) -> int:
                     help="reuse cached shards from an interrupted run")
     p7.add_argument("--cache-dir", default=None,
                     help="shard cache root (default .sweep_cache)")
-    sub.add_parser("fig8", help="control-plane preparation ratios")
+    p8 = sub.add_parser(
+        "fig8", help="control-plane preparation ratios (sweep-executed)"
+    )
+    p8.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes, one shard per WAN topology",
+    )
+    p8.add_argument("--resume", action="store_true",
+                    help="reuse cached shards from an interrupted run")
+    p8.add_argument("--cache-dir", default=None,
+                    help="shard cache root (default .sweep_cache)")
+    p8.add_argument("--updates", type=int, default=1000,
+                    help="updates per wall-clock timing loop")
+    p8.add_argument("--count-updates", type=int, default=50,
+                    help="updates per deterministic operation count")
     sub.add_parser("demo", help="traced Fig. 1 DL update walk-through")
     prun = sub.add_parser("run", help="execute a JSON experiment spec")
     prun.add_argument("spec", help="path to the spec file")
@@ -285,10 +327,12 @@ def main(argv=None) -> int:
     psum.add_argument("trace", help="path to a JSONL trace")
     from repro.analysis.cli import add_analyze_parser, cmd_analyze
     from repro.chaos.cli import add_chaos_parser, cmd_chaos
+    from repro.serve.cli import add_serve_parser, cmd_serve
     from repro.sweep.cli import add_sweep_parser, cmd_sweep
 
     add_analyze_parser(sub)
     add_chaos_parser(sub)
+    add_serve_parser(sub)
     add_sweep_parser(sub)
     args = parser.parse_args(argv)
     handler = {
@@ -301,6 +345,7 @@ def main(argv=None) -> int:
         "obs": cmd_obs,
         "analyze": cmd_analyze,
         "chaos": cmd_chaos,
+        "serve": cmd_serve,
         "sweep": cmd_sweep,
     }[args.command]
     return handler(args)

@@ -61,6 +61,11 @@ class ObsContext:
         if self.metrics.enabled:
             self.metrics.histogram(name, **labels).observe(value)
 
+    def gauge_set(self, name: str, value: float, **labels) -> None:
+        """Convenience: set a labeled gauge (guarded)."""
+        if self.metrics.enabled:
+            self.metrics.gauge(name, **labels).set(value)
+
     def snapshot(self) -> dict:
         """Everything this context captured, JSON-safe."""
         out = {"metrics": self.metrics.snapshot(), "spans": self.spans.tree()}

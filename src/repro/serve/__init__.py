@@ -1,0 +1,32 @@
+"""repro.serve — tenant-facing concurrent update-request service.
+
+Layers an admission queue (bounded depth, token bucket, shed
+policies) and a dependency-aware orchestrator (per-flow version-slot
+serialization, optional shared-switch serialization, merge of queued
+same-flow requests) on top of the verified prepare/push update path,
+with SLO metrics and deterministic benchmark manifests.
+"""
+
+from repro.serve.model import UpdateRequest
+from repro.serve.orchestrator import ServiceOrchestrator
+from repro.serve.service import ServiceResult, run_service
+from repro.serve.spec import (
+    ServeSpec,
+    ServeSpecError,
+    load_serve_spec,
+    load_serve_spec_file,
+)
+from repro.serve.workload import ServiceFlow, build_flow_population
+
+__all__ = [
+    "ServeSpec",
+    "ServeSpecError",
+    "ServiceFlow",
+    "ServiceOrchestrator",
+    "ServiceResult",
+    "UpdateRequest",
+    "build_flow_population",
+    "load_serve_spec",
+    "load_serve_spec_file",
+    "run_service",
+]

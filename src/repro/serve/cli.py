@@ -1,0 +1,176 @@
+"""The ``serve`` CLI subcommand: validate / run.
+
+* ``serve validate <spec.json>`` — load and validate a serve spec,
+  print its summary, run nothing;
+* ``serve run <spec.json>`` — execute the service workload.  With
+  ``--seeds N`` the run fans out as N seeded replicas through the
+  sweep executor (``--workers``, ``--resume``, ``--cache-dir`` work
+  exactly as for ``sweep run``), writes a consolidated
+  ``BENCH_serve_<name>.json`` manifest and prints the deterministic
+  aggregate signature.  Exits 1 on shard failures, consistency
+  violations or a broken terminal-outcome invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.serve.spec import ServeSpec
+
+
+def _load(path: str) -> Optional[ServeSpec]:
+    from repro.serve.spec import ServeSpecError, load_serve_spec_file
+
+    try:
+        return load_serve_spec_file(path)
+    except (OSError, ServeSpecError) as exc:
+        print(f"error: cannot load serve spec {path!r}: {exc}", file=sys.stderr)
+        return None
+
+
+def _wrap_spec(spec: ServeSpec, seeds: int, obs: bool):
+    """A serve spec as a kind-"serve" sweep over ``seeds`` replicas."""
+    from repro.sweep.spec import load_sweep_spec
+
+    return load_sweep_spec(
+        {
+            "name": spec.name,
+            "kind": "serve",
+            "seed": spec.seed,
+            "description": spec.description,
+            "seeds": seeds,
+            "serve": spec.to_dict(),
+            "obs": obs,
+        }
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    handler = {
+        "validate": _cmd_validate,
+        "run": _cmd_run,
+    }[args.serve_command]
+    return handler(args)
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    spec = _load(args.spec)
+    if spec is None:
+        return 1
+    print(f"serve spec {spec.name!r} is valid:")
+    print(f"  topology:   {spec.topology}")
+    print(f"  workload:   {spec.mode}-loop, {spec.requests} requests over "
+          f"{spec.flows} flows")
+    print(f"  admission:  depth={spec.queue_depth} "
+          f"rate={spec.rate_per_s or 'unlimited'}/s "
+          f"shed={spec.shed_policy}")
+    print(f"  conflicts:  same-flow={spec.conflict_policy} "
+          f"shared-switch={spec.switch_conflict} "
+          f"max_in_flight={spec.max_in_flight or 'unlimited'}")
+    print(f"  horizon:    {spec.horizon_ms:.0f} ms, "
+          f"{len(spec.events)} chaos event(s)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs import make_obs
+    from repro.obs.manifest import write_manifest
+    from repro.sweep.executor import run_sweep
+    from repro.sweep.merge import build_sweep_results
+
+    spec = _load(args.spec)
+    if spec is None:
+        return 1
+    sweep = _wrap_spec(spec, seeds=args.seeds, obs=args.obs)
+    print(f"serve {spec.name!r}: {args.seeds} seeded replica(s), "
+          f"{args.workers} worker(s)"
+          + (", resuming" if args.resume else ""))
+
+    obs = make_obs() if args.obs else None
+    run = run_sweep(
+        sweep,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        obs=obs,
+    )
+    for failure in run.failures:
+        print(
+            f"SHARD FAILURE {failure['shard_id']} "
+            f"({failure['attempts']} attempt(s)): "
+            f"{failure['error_type']}: {failure['message']}",
+            file=sys.stderr,
+        )
+    results = build_sweep_results(
+        sweep, run.shard_docs, run.failures, run.shards_total
+    )
+    path = write_manifest(
+        f"serve_{spec.name}",
+        params=sweep.to_dict(),
+        results=results,
+        seed=spec.seed,
+        obs=obs if obs is not None else None,
+        out_dir=args.out_dir,
+        merge=False,
+    )
+    aggregates = results["aggregates"]
+    print(f"wrote {path}")
+    print(f"signature {results['signature']}")
+    print(f"  requests:   {aggregates['requests']} "
+          f"({aggregates['completed']} completed)")
+    for outcome, count in aggregates["outcomes"].items():
+        print(f"    {outcome:<12s} {count}")
+    print(f"  throughput: {aggregates['mean_throughput_per_s']:.1f} "
+          f"completed updates / simulated s")
+    print(f"  consistent: {aggregates['consistent']} "
+          f"({aggregates['violations']} violation(s))")
+    print(f"  invariants: {'ok' if aggregates['invariants_ok'] else 'BROKEN'}")
+    ok = (
+        run.ok
+        and aggregates["consistent"]
+        and aggregates["invariants_ok"]
+    )
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def add_serve_parser(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "serve", help="concurrent update-request service (repro.serve)"
+    )
+    serve_sub = parser.add_subparsers(dest="serve_command", required=True)
+
+    pval = serve_sub.add_parser("validate", help="validate a serve spec")
+    pval.add_argument("spec", help="path to a serve spec JSON file")
+
+    prun = serve_sub.add_parser(
+        "run", help="run the service workload (multi-seed via the sweep fleet)"
+    )
+    prun.add_argument("spec", help="path to a serve spec JSON file")
+    prun.add_argument(
+        "--seeds", type=int, default=1,
+        help="seeded replicas to run (each is one sweep shard)",
+    )
+    prun.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial in-process execution, default)",
+    )
+    prun.add_argument(
+        "--resume", action="store_true",
+        help="reuse completed shards from the on-disk cache",
+    )
+    prun.add_argument(
+        "--cache-dir", default=None,
+        help="shard-result cache root (default .sweep_cache)",
+    )
+    prun.add_argument(
+        "--out-dir", default=None,
+        help="directory for BENCH_serve_<name>.json (default: repo root "
+             "or $REPRO_BENCH_DIR)",
+    )
+    prun.add_argument(
+        "--obs", action="store_true",
+        help="instrument replicas with live metrics",
+    )

@@ -1,0 +1,203 @@
+"""Declarative update-service specifications.
+
+A serve spec is a plain JSON document describing one tenant-facing
+service run: the topology and flow population, the request workload
+(open- or closed-loop), the admission policy (queue depth, token
+bucket, shed policy) and the orchestration policy (conflict handling,
+in-flight cap).  Example::
+
+    {
+      "name": "smoke",
+      "topology": "b4",
+      "seed": 0,
+      "mode": "open",
+      "flows": 8,
+      "requests": 60,
+      "arrival_rate_per_s": 400.0,
+      "queue_depth": 16,
+      "shed_policy": "reject"
+    }
+
+Everything runs on simulated time; the same spec + seed produces the
+bit-identical per-request record list (asserted by ``tests/serve/``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any
+
+from repro.params import SimParams
+
+#: Topologies a serve spec can name (the chaos runner's factory map).
+SERVE_TOPOLOGIES = (
+    "fig1",
+    "fig2",
+    "b4",
+    "internet2",
+    "attmpls",
+    "chinanet",
+    "fattree4",
+)
+
+SERVE_MODES = ("open", "closed")
+SHED_POLICIES = ("reject", "park")
+CONFLICT_POLICIES = ("serialize", "merge")
+SWITCH_CONFLICT_POLICIES = ("concurrent", "serialize")
+
+#: SimParams fields a serve spec may override (same contract as sweep
+#: specs: scalar knobs only).
+_OVERRIDABLE_PARAMS = frozenset(
+    f.name
+    for f in dataclass_fields(SimParams)
+    if f.type in ("int", "float", "bool")
+)
+
+
+class ServeSpecError(ValueError):
+    """Raised for malformed serve specifications."""
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """A validated update-service description (see module docstring)."""
+
+    name: str
+    topology: str = "b4"
+    seed: int = 0
+    description: str = ""
+    # -- workload ----------------------------------------------------------
+    mode: str = "open"
+    flows: int = 16                    # size of the flow population
+    requests: int = 100                # total requests to generate
+    arrival_rate_per_s: float = 200.0  # open loop: Poisson arrival rate
+    clients: int = 4                   # closed loop: concurrent clients
+    think_time_ms: float = 50.0        # closed loop: wait between requests
+    mean_flow_size: float = 1.0
+    # -- admission ---------------------------------------------------------
+    queue_depth: int = 64              # bounded admission queue
+    rate_per_s: float = 0.0            # token-bucket refill (0 = unlimited)
+    burst: int = 8                     # token-bucket capacity
+    shed_policy: str = "reject"        # what to do with overflow
+    # -- orchestration -----------------------------------------------------
+    conflict_policy: str = "merge"     # same-flow conflicts: serialize|merge
+    switch_conflict: str = "concurrent"  # shared-switch conflicts
+    max_in_flight: int = 0             # concurrent updates cap (0 = no cap)
+    # -- run ---------------------------------------------------------------
+    horizon_ms: float = 120000.0
+    params: dict = field(default_factory=dict)
+    events: tuple = ()                 # chaos TopoEvent dicts
+    obs: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServeSpecError("serve spec needs a non-empty 'name'")
+        if self.topology not in SERVE_TOPOLOGIES:
+            raise ServeSpecError(
+                f"unknown topology {self.topology!r}; known: {SERVE_TOPOLOGIES}"
+            )
+        if self.mode not in SERVE_MODES:
+            raise ServeSpecError(
+                f"unknown mode {self.mode!r}; expected one of {SERVE_MODES}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ServeSpecError(
+                f"unknown shed_policy {self.shed_policy!r}; "
+                f"expected one of {SHED_POLICIES}"
+            )
+        if self.conflict_policy not in CONFLICT_POLICIES:
+            raise ServeSpecError(
+                f"unknown conflict_policy {self.conflict_policy!r}; "
+                f"expected one of {CONFLICT_POLICIES}"
+            )
+        if self.switch_conflict not in SWITCH_CONFLICT_POLICIES:
+            raise ServeSpecError(
+                f"unknown switch_conflict {self.switch_conflict!r}; "
+                f"expected one of {SWITCH_CONFLICT_POLICIES}"
+            )
+        if self.flows < 1:
+            raise ServeSpecError("serve spec needs flows >= 1")
+        if self.requests < 1:
+            raise ServeSpecError("serve spec needs requests >= 1")
+        if self.mode == "open" and self.arrival_rate_per_s <= 0:
+            raise ServeSpecError("open-loop spec needs arrival_rate_per_s > 0")
+        if self.mode == "closed" and self.clients < 1:
+            raise ServeSpecError("closed-loop spec needs clients >= 1")
+        if self.queue_depth < 1:
+            raise ServeSpecError("serve spec needs queue_depth >= 1")
+        if self.rate_per_s < 0 or self.burst < 1:
+            raise ServeSpecError(
+                "token bucket needs rate_per_s >= 0 and burst >= 1"
+            )
+        if self.max_in_flight < 0:
+            raise ServeSpecError("max_in_flight must be >= 0 (0 = no cap)")
+        if self.horizon_ms <= 0:
+            raise ServeSpecError("serve spec needs horizon_ms > 0")
+        unknown = set(self.params) - _OVERRIDABLE_PARAMS
+        if unknown:
+            raise ServeSpecError(
+                f"non-overridable SimParams field(s) {sorted(unknown)}; "
+                f"overridable: {sorted(_OVERRIDABLE_PARAMS)}"
+            )
+        for event in self.events:
+            if not isinstance(event, dict) or "kind" not in event:
+                raise ServeSpecError(
+                    f"each event must be a TopoEvent object with a 'kind', "
+                    f"got {event!r}"
+                )
+
+    def to_dict(self) -> dict:
+        doc: dict[str, Any] = {
+            "name": self.name,
+            "topology": self.topology,
+            "seed": self.seed,
+            "description": self.description,
+            "mode": self.mode,
+            "flows": self.flows,
+            "requests": self.requests,
+            "arrival_rate_per_s": self.arrival_rate_per_s,
+            "clients": self.clients,
+            "think_time_ms": self.think_time_ms,
+            "mean_flow_size": self.mean_flow_size,
+            "queue_depth": self.queue_depth,
+            "rate_per_s": self.rate_per_s,
+            "burst": self.burst,
+            "shed_policy": self.shed_policy,
+            "conflict_policy": self.conflict_policy,
+            "switch_conflict": self.switch_conflict,
+            "max_in_flight": self.max_in_flight,
+            "horizon_ms": self.horizon_ms,
+            "params": dict(self.params),
+            "events": [dict(e) for e in self.events],
+            "obs": self.obs,
+        }
+        return doc
+
+
+def load_serve_spec(data: dict) -> ServeSpec:
+    """Build a spec from a plain (JSON-decoded) dict."""
+    if not isinstance(data, dict):
+        raise ServeSpecError(
+            f"serve spec must be an object, got {type(data).__name__}"
+        )
+    payload = dict(data)
+    known = {f.name for f in dataclass_fields(ServeSpec)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ServeSpecError(f"unknown serve spec field(s) {sorted(unknown)}")
+    if "events" in payload:
+        payload["events"] = tuple(payload["events"])
+    try:
+        return ServeSpec(**payload)
+    except TypeError as exc:
+        raise ServeSpecError(str(exc)) from None
+
+
+def load_serve_spec_file(path: str) -> ServeSpec:
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ServeSpecError(f"{path}: invalid JSON: {exc}") from None
+    return load_serve_spec(data)

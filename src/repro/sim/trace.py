@@ -48,6 +48,11 @@ KIND_SWITCH_CRASH = "switch_crash"
 KIND_SWITCH_RESTART = "switch_restart"
 KIND_CONTROLLER_DOWN = "controller_down"
 KIND_CONTROLLER_UP = "controller_up"
+# Update-request service lifecycle (repro.serve).
+KIND_REQUEST_SUBMITTED = "request_submitted"
+KIND_REQUEST_SHED = "request_shed"          # rejected or parked at admission
+KIND_REQUEST_DISPATCHED = "request_dispatched"
+KIND_REQUEST_DONE = "request_done"          # terminal outcome reached
 
 
 class Trace:

@@ -151,25 +151,47 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Fields a readable status heartbeat must carry before we render it.
+_STATUS_REQUIRED = (
+    "name", "state", "spec_hash", "shards_total", "completed",
+    "failed", "remaining", "cached", "workers",
+)
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
+    import os
+
     from repro.sweep.executor import cache_root, read_status
 
     spec = _load(args.spec)
     if spec is None:
         return 1
     root = cache_root(spec, args.cache_dir)
+    status_path = os.path.join(root, "status.json")
+    if not os.path.exists(status_path):
+        print(f"error: no status for sweep {spec.name!r} under {root!r} "
+              f"(not started, or a different spec version)", file=sys.stderr)
+        return 1
     status = read_status(root)
     if status is None:
-        print(f"no status for sweep {spec.name!r} under {root!r} "
-              f"(not started, or a different spec version)")
+        # The heartbeat is rewritten while the fleet runs; a read can
+        # race a writer and see a truncated/partial file.
+        print(f"error: status file {status_path!r} is unreadable or "
+              f"mid-write; retry in a moment", file=sys.stderr)
+        return 1
+    missing = [key for key in _STATUS_REQUIRED if key not in status]
+    if missing:
+        print(f"error: status file {status_path!r} is incomplete "
+              f"(missing {', '.join(missing)}); it may be mid-write or "
+              f"from an older run — retry or remove it", file=sys.stderr)
         return 1
     print(f"sweep {status['name']!r} [{status['state']}] "
-          f"spec {status['spec_hash'][:16]}")
+          f"spec {str(status['spec_hash'])[:16]}")
     print(f"  shards:    {status['completed']}/{status['shards_total']} "
           f"completed, {status['failed']} failed, "
           f"{status['remaining']} remaining ({status['cached']} from cache)")
     print(f"  workers:   {status['workers']}")
-    print(f"  elapsed:   {status['elapsed_s']:.1f} s")
+    print(f"  elapsed:   {float(status.get('elapsed_s') or 0.0):.1f} s")
     eta = status.get("eta_s")
     print(f"  eta:       {eta:.1f} s" if eta is not None else "  eta:       -")
     return 0

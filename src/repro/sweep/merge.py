@@ -204,6 +204,83 @@ def aggregate_chaos(shard_docs: list[dict]) -> dict:
     }
 
 
+def aggregate_serve(shard_docs: list[dict]) -> dict:
+    """Fleet view of seeded service replicas.
+
+    ``deterministic`` compares per-shard signatures only across shards
+    that ran the *same* seed (a multi-seed sweep legitimately differs
+    per seed); with one seed per shard it degenerates to counting
+    distinct signatures per seed, each of which must be 1 on resume or
+    worker-count changes."""
+    ordered = sorted(shard_docs, key=lambda d: int(d["index"]))
+    by_seed: dict[int, set[str]] = {}
+    outcomes: dict[str, int] = {}
+    for doc in ordered:
+        results = doc["results"]
+        by_seed.setdefault(int(doc["seed"]), set()).add(
+            str(results.get("signature"))
+        )
+        for outcome, count in (results.get("outcomes") or {}).items():
+            outcomes[outcome] = outcomes.get(outcome, 0) + int(count)
+    throughputs = [
+        float(d["results"].get("throughput_per_s", 0.0)) for d in ordered
+    ]
+    return {
+        "runs": len(ordered),
+        "deterministic": all(len(sigs) <= 1 for sigs in by_seed.values()),
+        "signatures_by_seed": {
+            str(seed): sorted(sigs) for seed, sigs in sorted(by_seed.items())
+        },
+        "outcomes": dict(sorted(outcomes.items())),
+        "requests": sum(
+            int(d["results"].get("requests", 0)) for d in ordered
+        ),
+        "completed": sum(
+            int(d["results"].get("completed", 0)) for d in ordered
+        ),
+        "violations": sum(
+            len(d["results"].get("violations") or []) for d in ordered
+        ),
+        "consistent": all(d["results"].get("consistent") for d in ordered),
+        "invariants_ok": all(
+            d["results"].get("invariants_ok") for d in ordered
+        ),
+        "mean_throughput_per_s": (
+            sum(throughputs) / len(throughputs) if throughputs else 0.0
+        ),
+    }
+
+
+def aggregate_prep(shard_docs: list[dict]) -> dict:
+    """Per-topology Fig. 8 operation-count ratios."""
+    ordered = sorted(shard_docs, key=lambda d: int(d["index"]))
+    per_topology: dict[str, dict] = {}
+    for doc in ordered:
+        results = doc["results"]
+        key = doc.get("key") or {}
+        topology = str(key.get("topology") or results.get("topology"))
+        per_topology[topology] = {
+            "p4update_ops": results.get("p4update_ops"),
+            "ez_ops": results.get("ez_ops"),
+            "ez_congestion_ops": results.get("ez_congestion_ops"),
+            "ratio_a": results.get("ratio_a"),
+            "ratio_b": results.get("ratio_b"),
+        }
+    ratios_a = [
+        row["ratio_a"] for row in per_topology.values()
+        if row["ratio_a"] is not None
+    ]
+    ratios_b = [
+        row["ratio_b"] for row in per_topology.values()
+        if row["ratio_b"] is not None
+    ]
+    return {
+        "topologies": dict(sorted(per_topology.items())),
+        "ratio_a_below_one": bool(ratios_a) and all(r < 1.0 for r in ratios_a),
+        "ratio_b_below_fifth": bool(ratios_b) and all(r < 0.2 for r in ratios_b),
+    }
+
+
 # -- the consolidated manifest -----------------------------------------------
 
 
@@ -215,9 +292,11 @@ def build_sweep_results(
 ) -> dict:
     """The ``results`` tree of the consolidated sweep manifest."""
     ordered = sorted(shard_docs, key=lambda d: int(d["index"]))
-    aggregator = (
-        aggregate_chaos if spec.kind == "chaos" else aggregate_experiment
-    )
+    aggregator = {
+        "chaos": aggregate_chaos,
+        "serve": aggregate_serve,
+        "prep": aggregate_prep,
+    }.get(spec.kind, aggregate_experiment)
     docs_with_keys = attach_shard_keys(spec, ordered)
     results: dict[str, Any] = {
         "spec_hash": spec.spec_hash(),

@@ -42,7 +42,7 @@ from typing import Any, Optional
 from repro.harness.experiment import SYSTEMS
 from repro.params import SimParams
 
-SWEEP_KINDS = ("experiment", "chaos")
+SWEEP_KINDS = ("experiment", "chaos", "serve", "prep")
 
 SCENARIO_KINDS = ("single", "multi")
 
@@ -107,6 +107,11 @@ class SweepSpec:
     # -- chaos axes --------------------------------------------------------
     campaign: Optional[dict] = None
     runs: int = 1
+    # -- serve axes (kind "serve": one shard per entry of ``seeds``) -------
+    serve: Optional[dict] = None
+    # -- prep axes (kind "prep": one shard per topology) -------------------
+    updates: int = 1000
+    count_updates: int = 50
     # -- instrumentation ---------------------------------------------------
     obs: bool = False
 
@@ -138,11 +143,35 @@ class SweepSpec:
             if not (self.systems and self.topologies and self.scenarios
                     and self.seeds):
                 raise SweepSpecError("experiment sweep has an empty axis")
-        else:
+        elif self.kind == "chaos":
             if self.campaign is None:
                 raise SweepSpecError("chaos sweep needs a 'campaign' object")
             if self.runs < 1:
                 raise SweepSpecError("chaos sweep needs runs >= 1")
+        elif self.kind == "serve":
+            if self.serve is None:
+                raise SweepSpecError("serve sweep needs a 'serve' object")
+            if not self.seeds:
+                raise SweepSpecError("serve sweep has an empty seeds axis")
+            from repro.serve.spec import ServeSpecError, load_serve_spec
+
+            try:
+                load_serve_spec(dict(self.serve))
+            except ServeSpecError as exc:
+                raise SweepSpecError(f"invalid serve spec: {exc}") from None
+        else:  # prep
+            for topology in self.topologies:
+                if topology not in SWEEP_TOPOLOGIES:
+                    raise SweepSpecError(
+                        f"unknown topology {topology!r}; "
+                        f"known: {SWEEP_TOPOLOGIES}"
+                    )
+            if not self.topologies:
+                raise SweepSpecError("prep sweep has an empty topology axis")
+            if self.updates < 1 or self.count_updates < 1:
+                raise SweepSpecError(
+                    "prep sweep needs updates >= 1 and count_updates >= 1"
+                )
         unknown = set(self.params) - _OVERRIDABLE_PARAMS
         if unknown:
             raise SweepSpecError(
@@ -170,8 +199,16 @@ class SweepSpec:
                 dionysus_install_delays=self.dionysus_install_delays,
                 params=dict(self.params),
             )
-        else:
+        elif self.kind == "chaos":
             doc.update(campaign=dict(self.campaign or {}), runs=self.runs)
+        elif self.kind == "serve":
+            doc.update(serve=dict(self.serve or {}), seeds=list(self.seeds))
+        else:  # prep
+            doc.update(
+                topologies=list(self.topologies),
+                updates=self.updates,
+                count_updates=self.count_updates,
+            )
         return doc
 
     def spec_hash(self) -> str:
@@ -211,7 +248,7 @@ class SweepSpec:
                     "obs": self.obs,
                 }
                 shards.append(self._shard(index, key, seed, payload))
-        else:
+        elif self.kind == "chaos":
             campaign = dict(self.campaign or {})
             base_seed = int(campaign.get("seed", self.seed))
             for index in range(self.runs):
@@ -222,6 +259,35 @@ class SweepSpec:
                     "obs": self.obs,
                 }
                 shards.append(self._shard(index, key, base_seed, payload))
+        elif self.kind == "serve":
+            serve = dict(self.serve or {})
+            topology = serve.get("topology", "b4")
+            for index, seed_index in enumerate(self.seeds):
+                key = {
+                    "seed_index": seed_index,
+                    "serve": serve.get("name", self.name),
+                }
+                seed = derive_shard_seed(self.seed, "serve", topology, seed_index)
+                payload = {
+                    "kind": "serve",
+                    "serve": serve,
+                    "seed": seed,
+                    "obs": self.obs,
+                }
+                shards.append(self._shard(index, key, seed, payload))
+        else:  # prep
+            for index, topology in enumerate(self.topologies):
+                key = {"topology": topology}
+                seed = derive_shard_seed(self.seed, "prep", topology, 0)
+                payload = {
+                    "kind": "prep",
+                    "topology": topology,
+                    "updates": self.updates,
+                    "count_updates": self.count_updates,
+                    "seed": seed,
+                    "obs": self.obs,
+                }
+                shards.append(self._shard(index, key, seed, payload))
         return shards
 
     def _shard(self, index: int, key: dict, seed: int, payload: dict) -> Shard:

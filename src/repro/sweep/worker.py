@@ -50,6 +50,10 @@ def run_shard_payload(payload: dict) -> dict:
         results = _run_experiment_shard(payload, obs)
     elif payload["kind"] == "chaos":
         results = _run_chaos_shard(payload, obs)
+    elif payload["kind"] == "serve":
+        results = _run_serve_shard(payload, obs)
+    elif payload["kind"] == "prep":
+        results = _run_prep_shard(payload)
     else:
         raise ValueError(f"unknown shard kind {payload['kind']!r}")
     duration = time.perf_counter() - started  # repro: ignore[wall-clock] shard wall-time bookkeeping
@@ -147,6 +151,32 @@ def _run_chaos_shard(payload: dict, obs: Optional[Any]) -> dict:
     campaign = load_campaign(payload["campaign"])
     result = run_campaign(campaign, obs=obs)
     return result.to_results()
+
+
+def _run_serve_shard(payload: dict, obs: Optional[Any]) -> dict:
+    from repro.serve.service import run_service
+    from repro.serve.spec import load_serve_spec
+
+    serve = dict(payload["serve"])
+    # The shard seed (derived from the sweep's seed axis) overrides
+    # the serve spec's own seed — one spec, many seeded replicas.
+    serve["seed"] = int(payload["seed"])
+    spec = load_serve_spec(serve)
+    result = run_service(spec, obs=obs)
+    return result.to_results()
+
+
+def _run_prep_shard(payload: dict) -> dict:
+    from repro.harness.prep import prep_operation_counts
+
+    # Operation counts are deterministic work measures; any wall-clock
+    # timings arrive under "_wall" and are quarantined by the caller.
+    return prep_operation_counts(
+        payload["topology"],
+        updates=int(payload["updates"]),
+        count_updates=int(payload["count_updates"]),
+        seed=int(payload["seed"]),
+    )
 
 
 def _topology(name: str) -> Any:

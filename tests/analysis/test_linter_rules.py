@@ -65,10 +65,12 @@ def test_wall_clock_suppressed():
 
 
 def test_wall_clock_sleep_not_flagged():
+    # Sleeping is a scheduling sin (blocking-in-service), not a
+    # determinism sin: the wall-clock rule must leave it alone.
     assert rules_hit("""
         import time
         time.sleep(1)
-    """) == set()
+    """) == {"blocking-in-service"}
 
 
 # -- unseeded-random -----------------------------------------------------------
@@ -257,12 +259,67 @@ def test_suppression_comment_parsing():
 
 def test_rule_names_catalogue():
     assert rule_names() == [
+        "blocking-in-service",
         "mutable-default",
         "set-iteration",
         "unguarded-obs",
         "unseeded-random",
         "wall-clock",
     ]
+
+
+# -- blocking-in-service ------------------------------------------------------
+
+
+def test_blocking_sleep_flagged():
+    findings = lint("""
+        import time
+        def backoff():
+            time.sleep(0.5)
+    """)
+    assert [f.rule for f in findings] == ["blocking-in-service"]
+    assert findings[0].line == 4
+
+
+def test_blocking_aliased_sleep_flagged():
+    assert rules_hit("""
+        from time import sleep
+        sleep(1)
+    """) == {"blocking-in-service"}
+
+
+def test_blocking_timed_queue_get_flagged():
+    assert rules_hit("""
+        def drain(q):
+            return q.get(timeout=2.0)
+    """) == {"blocking-in-service"}
+
+
+def test_blocking_timed_join_and_wait_flagged():
+    assert rules_hit("""
+        def settle(worker, event):
+            worker.join(timeout=1.0)
+            event.wait(timeout=0.1)
+    """) == {"blocking-in-service"}
+
+
+def test_blocking_untimed_attrs_not_flagged():
+    # Without timeout= these are plain method names (dict.get,
+    # str.join...) — flagging them would drown the signal.
+    assert rules_hit("""
+        def ok(d, parts, fut):
+            d.get("key")
+            ", ".join(parts)
+            return fut.result()
+    """) == set()
+
+
+def test_blocking_suppressed():
+    findings = lint("""
+        import time
+        time.sleep(0.1)  # repro: ignore[blocking-in-service] retry backoff
+    """)
+    assert findings == []
 
 
 def test_finding_format():

@@ -1,0 +1,164 @@
+"""Dependency-aware orchestration: conflict rules, caps, recovery.
+
+All scenarios run through :func:`run_service` so the assertions see
+the same trace/record surface the benchmarks use; the trace is the
+ground truth for interleaving claims (dispatch/done ordering).
+"""
+
+import pytest
+
+from repro.serve.model import (
+    OUTCOME_ABORTED,
+    OUTCOME_COMPLETED,
+    OUTCOME_MERGED,
+    UpdateRequest,
+)
+from repro.serve.service import run_service
+from repro.serve.spec import ServeSpec
+
+
+def _spec(**overrides):
+    base = dict(
+        name="orch",
+        topology="b4",
+        seed=2,
+        mode="open",
+        flows=8,
+        requests=60,
+        arrival_rate_per_s=500.0,
+        conflict_policy="serialize",
+        horizon_ms=300000.0,
+    )
+    base.update(overrides)
+    return ServeSpec(**base)
+
+
+def _intervals_by_flow(records):
+    """[(flow_id, dispatched, completed)] for requests that dispatched."""
+    return [
+        (r["flow_id"], r["dispatched_ms"], r["completed_ms"])
+        for r in records
+        if r["dispatched_ms"] is not None
+    ]
+
+
+def test_same_flow_updates_never_overlap():
+    result = run_service(_spec())
+    by_flow = {}
+    for flow_id, start, end in _intervals_by_flow(result.records):
+        by_flow.setdefault(flow_id, []).append((start, end))
+    overlapping = 0
+    for intervals in by_flow.values():
+        intervals.sort()
+        for (_, end_a), (start_b, _) in zip(intervals, intervals[1:]):
+            if start_b < end_a:
+                overlapping += 1
+    assert overlapping == 0, "a flow owns one version slot: no overlap"
+    assert result.consistent and result.invariants_ok
+
+
+def test_distinct_flows_do_overlap():
+    result = run_service(_spec())
+    assert result.peak_in_flight > 1, (
+        "independent flows must actually run concurrently"
+    )
+
+
+def test_merge_policy_supersedes_queued_same_flow():
+    # Few flows + fast arrivals: queued same-flow requests pile up and
+    # the merge policy collapses them.
+    result = run_service(
+        _spec(
+            conflict_policy="merge",
+            flows=4,
+            requests=40,
+            arrival_rate_per_s=2000.0,
+        )
+    )
+    outcomes = result.outcome_counts
+    assert outcomes.get(OUTCOME_MERGED, 0) > 0
+    merged = [
+        r for r in result.records if r["outcome"] == OUTCOME_MERGED
+    ]
+    for record in merged:
+        assert record["dispatched_ms"] is None, (
+            "only undispatched requests may be merged away"
+        )
+    assert result.consistent and result.invariants_ok
+
+
+def test_max_in_flight_one_is_serial():
+    result = run_service(_spec(max_in_flight=1))
+    assert result.peak_in_flight == 1
+    intervals = sorted(
+        (start, end) for _, start, end in _intervals_by_flow(result.records)
+    )
+    for (_, end_a), (start_b, _) in zip(intervals, intervals[1:]):
+        assert start_b >= end_a, "max_in_flight=1 must fully serialize"
+
+
+def test_switch_conflict_serialize_blocks_shared_footprints():
+    concurrent = run_service(_spec(seed=5))
+    strict = run_service(_spec(seed=5, switch_conflict="serialize"))
+    # Same workload, stricter policy: concurrency can only shrink.
+    assert strict.peak_in_flight <= concurrent.peak_in_flight
+    assert strict.consistent and strict.invariants_ok
+
+
+def test_lifecycle_timestamps_are_monotone():
+    result = run_service(_spec(requests=20))
+    assert result.consistent
+    for record in result.records:
+        if record["admitted_ms"] is not None:
+            assert record["admitted_ms"] >= record["submitted_ms"]
+        if record["dispatched_ms"] is not None:
+            assert record["dispatched_ms"] >= record["admitted_ms"]
+            assert record["completed_ms"] >= record["dispatched_ms"]
+        if record["pushed_ms"] is not None:
+            assert record["pushed_ms"] >= record["dispatched_ms"]
+
+
+def test_chaos_abort_composes_with_service():
+    # A link flap mid-service: the update watchdog aborts or reroutes
+    # work crossing the failed link; every request still reaches
+    # exactly one terminal outcome and the data plane stays consistent.
+    result = run_service(
+        _spec(
+            seed=3,
+            requests=80,
+            arrival_rate_per_s=400.0,
+            params={"controller_update_timeout_ms": 2000.0},
+            events=(
+                {
+                    "time_ms": 40.0,
+                    "kind": "link_down",
+                    "node_a": "dalles-or",
+                    "node_b": "council-ia",
+                },
+                {
+                    "time_ms": 400.0,
+                    "kind": "link_up",
+                    "node_a": "dalles-or",
+                    "node_b": "council-ia",
+                },
+            ),
+        )
+    )
+    assert result.invariants_ok
+    assert result.consistent, result.violations
+    assert len(result.records) == 80
+    terminal = sum(result.outcome_counts.values())
+    assert terminal == 80
+    assert result.outcome_counts.get(OUTCOME_COMPLETED, 0) > 0
+    aborted = result.outcome_counts.get(OUTCOME_ABORTED, 0)
+    assert aborted >= 0  # aborts are allowed, double-terminals are not
+
+
+def test_request_terminal_outcome_is_exactly_once():
+    request = UpdateRequest(0, 123, submitted_ms=0.0)
+    request.finish("completed", 10.0)
+    assert request.terminal
+    with pytest.raises(RuntimeError):
+        request.finish("aborted", 11.0)
+    with pytest.raises(ValueError):
+        UpdateRequest(1, 124, submitted_ms=0.0).finish("nonsense", 1.0)

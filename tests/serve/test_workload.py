@@ -1,0 +1,104 @@
+"""Flow population and arrival-stream properties."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.chaos.runner import TOPOLOGIES
+from repro.serve.workload import (
+    build_flow_population,
+    closed_loop_pick,
+    flow_weights,
+    open_loop_arrivals,
+)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_population_flows_are_reroutable_and_distinct():
+    topo = TOPOLOGIES["b4"]()
+    population = build_flow_population(topo, 8, _rng())
+    assert len(population) == 8
+    assert len({f.flow_id for f in population}) == 8
+    for service_flow in population:
+        assert service_flow.primary != service_flow.alternate
+        assert service_flow.primary[0] == service_flow.src
+        assert service_flow.primary[-1] == service_flow.dst
+        assert service_flow.alternate[0] == service_flow.src
+        assert service_flow.alternate[-1] == service_flow.dst
+        assert service_flow.size > 0
+
+
+def test_population_same_seed_identical():
+    topo = TOPOLOGIES["b4"]()
+    p1 = build_flow_population(topo, 8, _rng(42))
+    p2 = build_flow_population(topo, 8, _rng(42))
+    assert p1 == p2
+
+
+def test_population_different_seed_differs():
+    topo = TOPOLOGIES["b4"]()
+    p1 = build_flow_population(topo, 8, _rng(1))
+    p2 = build_flow_population(topo, 8, _rng(2))
+    assert p1 != p2
+
+
+def test_population_too_small_topology_raises():
+    topo = TOPOLOGIES["fig1"]()
+    with pytest.raises(ValueError, match="reroutable flows"):
+        build_flow_population(topo, 1000, _rng())
+
+
+def test_flow_weights_normalised():
+    topo = TOPOLOGIES["b4"]()
+    population = build_flow_population(topo, 8, _rng())
+    weights = flow_weights(population)
+    assert weights.shape == (8,)
+    assert float(weights.sum()) == pytest.approx(1.0)
+    assert all(w > 0 for w in weights)
+
+
+def test_open_loop_arrivals_lazy_and_seeded():
+    topo = TOPOLOGIES["b4"]()
+    population = build_flow_population(topo, 8, _rng())
+    # The stream is a generator: asking for a million arrivals costs
+    # nothing until consumed, and consuming a prefix is O(prefix).
+    stream = open_loop_arrivals(_rng(7), population, 100.0, 1_000_000)
+    head = list(itertools.islice(stream, 50))
+    assert len(head) == 50
+    again = list(
+        itertools.islice(
+            open_loop_arrivals(_rng(7), population, 100.0, 1_000_000), 50
+        )
+    )
+    assert head == again
+    for gap_ms, index in head:
+        assert gap_ms >= 0
+        assert 0 <= index < len(population)
+    gaps = [g for g, _ in head]
+    assert np.mean(gaps) == pytest.approx(10.0, rel=0.6)  # 100/s -> ~10ms
+
+
+def test_open_loop_arrivals_respects_limit():
+    topo = TOPOLOGIES["b4"]()
+    population = build_flow_population(topo, 4, _rng())
+    assert len(list(open_loop_arrivals(_rng(), population, 50.0, 17))) == 17
+
+
+def test_open_loop_arrivals_rejects_zero_rate():
+    topo = TOPOLOGIES["b4"]()
+    population = build_flow_population(topo, 4, _rng())
+    with pytest.raises(ValueError):
+        next(open_loop_arrivals(_rng(), population, 0.0, 1))
+
+
+def test_closed_loop_pick_in_range_and_seeded():
+    topo = TOPOLOGIES["b4"]()
+    population = build_flow_population(topo, 8, _rng())
+    weights = flow_weights(population)
+    picks = [closed_loop_pick(_rng(3), population, weights) for _ in range(5)]
+    assert len(set(picks)) == 1  # fresh same-seed rng -> same pick
+    assert all(0 <= p < len(population) for p in picks)

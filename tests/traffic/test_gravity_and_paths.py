@@ -48,6 +48,35 @@ def test_gravity_flow_sizes_empty():
     assert gravity_flow_sizes([], np.random.default_rng(0)) == []
 
 
+def test_gravity_flow_sizes_seed_determinism():
+    pairs = [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")]
+    s1 = gravity_flow_sizes(pairs, np.random.default_rng(11), mean_size=2.0)
+    s2 = gravity_flow_sizes(pairs, np.random.default_rng(11), mean_size=2.0)
+    assert s1 == s2
+
+
+def test_gravity_flow_sizes_pair_order_independent():
+    # Node weights are drawn over the *sorted* node set, so the size of
+    # a given (src, dst) pair must not depend on where it sits in the
+    # input list — permuting the pairs permutes the output identically.
+    pairs = [("d", "a"), ("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")]
+    forward = gravity_flow_sizes(pairs, np.random.default_rng(5))
+    shuffled = list(reversed(pairs))
+    backward = gravity_flow_sizes(shuffled, np.random.default_rng(5))
+    by_pair_fwd = dict(zip(pairs, forward))
+    by_pair_bwd = dict(zip(shuffled, backward))
+    assert by_pair_fwd == pytest.approx(by_pair_bwd)
+
+
+def test_gravity_matrix_node_order_changes_assignment_not_support():
+    # gravity_matrix keys follow the caller's node order; callers that
+    # need order independence sort first (as gravity_flow_sizes does).
+    m1 = gravity_matrix(["a", "b", "c"], np.random.default_rng(9))
+    m2 = gravity_matrix(["c", "b", "a"], np.random.default_rng(9))
+    assert set(m1) == set(m2)
+    assert sum(m1.values()) == pytest.approx(sum(m2.values()))
+
+
 def test_scale_to_capacity_hits_target_utilisation():
     sizes = [1.0, 2.0]
     loads = {"e1": 3.0, "e2": 1.0}
