@@ -136,4 +136,16 @@ class ReliableControlSender:
             self.node.obs.metrics.counter(
                 "control_retransmissions", target=pending.envelope.target
             ).inc()
+        causal = self.node.obs.causal
+        if causal is not None:
+            # The ack-less wait this timer just expired over belongs to
+            # the in-flight request's retry_backoff segment.
+            inner = pending.envelope.inner
+            flow_id = getattr(inner, "flow_id", None)
+            if flow_id is not None:
+                causal.retry(
+                    flow_id, self.node.engine.now, "retransmit",
+                    self.node.name, target=pending.envelope.target,
+                    attempt=pending.attempt,
+                )
         self._transmit(seq)

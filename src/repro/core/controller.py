@@ -680,6 +680,13 @@ class P4UpdateController(Node):
         self._retriggers[key] = self._retriggers.get(key, 0) + 1
         if self.obs.enabled:
             self.obs.metrics.counter("update_retriggers", node=self.name).inc()
+        causal = self.obs.causal
+        if causal is not None:
+            # The wait that forced this re-trigger is retry_backoff on
+            # the affected request's critical path (repro.obs.causal).
+            causal.retry(
+                flow_id, self.now, "retrigger", self.name, version=version
+            )
         for uim in prepared.uims:
             if uim.is_flow_egress or uim.is_segment_egress:
                 self._send_to_switch(uim)

@@ -26,6 +26,7 @@ from repro.params import SimParams
 from repro.sim.engine import Engine
 from repro.sim.links import ControlChannel, Link
 from repro.sim.network import Network
+from repro.sim.trace import Trace
 from repro.topo.graph import Topology
 from repro.traffic.flows import Flow
 
@@ -144,7 +145,9 @@ def build_p4update_network(
     if topo.controller is None:
         topo.place_controller_at_centroid()
 
-    network = Network(Engine(), obs=obs)
+    network = Network(
+        Engine(), trace=Trace(max_events=params.trace_max_events), obs=obs
+    )
     obs.bind_engine(network.engine)
     forwarding_state = ForwardingState()
 

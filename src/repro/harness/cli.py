@@ -194,7 +194,7 @@ def cmd_obs(args) -> int:
 
     from repro.obs import (
         export_trace_jsonl,
-        filter_events,
+        iter_filter_events,
         iter_trace_jsonl,
         make_obs,
         summarize_events,
@@ -221,28 +221,40 @@ def cmd_obs(args) -> int:
             print(obs.profiler.format_report())
         return 0
 
-    try:
-        events = list(iter_trace_jsonl(args.trace))
-    except OSError as exc:
-        print(f"error: cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
-        return 1
+    if args.obs_command in ("requests", "critical-path", "perfetto"):
+        return _cmd_obs_causal(args)
+
+    # ``filter`` and ``summary`` stream through iter_trace_jsonl: one
+    # event in memory at a time, so arbitrarily large traces (plain or
+    # .jsonl.gz) process in constant space.
     if args.obs_command == "filter":
-        selected = filter_events(
-            events, kinds=args.kind or None, nodes=args.node or None,
-            t0=args.t0, t1=args.t1,
-        )
-        if args.out == "-":
-            for event in selected:
+        try:
+            selected = iter_filter_events(
+                iter_trace_jsonl(args.trace),
+                kinds=args.kind or None, nodes=args.node or None,
+                t0=args.t0, t1=args.t1,
+            )
+            if args.out == "-":
                 from repro.obs import event_to_dict
 
-                print(json.dumps(event_to_dict(event), sort_keys=True))
-        else:
-            count = export_trace_jsonl(selected, args.out)
-            print(f"wrote {count} events to {args.out}")
+                for event in selected:
+                    print(json.dumps(event_to_dict(event), sort_keys=True))
+            else:
+                count = export_trace_jsonl(selected, args.out)
+                print(f"wrote {count} events to {args.out}")
+        except OSError as exc:
+            print(f"error: cannot read trace {args.trace!r}: {exc}",
+                  file=sys.stderr)
+            return 1
         return 0
 
     if args.obs_command == "summary":
-        report = summarize_events(events)
+        try:
+            report = summarize_events(iter_trace_jsonl(args.trace))
+        except OSError as exc:
+            print(f"error: cannot read trace {args.trace!r}: {exc}",
+                  file=sys.stderr)
+            return 1
         print(f"events:  {report['events']}")
         if report["events"]:
             print(f"first:   {report['t_first_ms']:.3f} ms")
@@ -256,6 +268,77 @@ def cmd_obs(args) -> int:
             print(f"  {node:<20s} {count}")
         return 0
 
+    raise ValueError(f"unknown obs command {args.obs_command!r}")
+
+
+def _cmd_obs_causal(args) -> int:
+    """The causal-DAG subcommands over a TRACE_*.causal.jsonl[.gz]
+    sidecar (written by ``serve run --causal``)."""
+    import json
+
+    from repro.obs import critical_path, iter_causal_jsonl, perfetto_trace
+
+    def _dags():
+        return iter_causal_jsonl(args.causal)
+
+    try:
+        if args.obs_command == "requests":
+            print(f"{'shard':<14s} {'req':>4s} {'flow':>4s} "
+                  f"{'outcome':<12s} {'e2e ms':>10s}  top segments")
+            for dag in _dags():
+                top = sorted(
+                    (
+                        (seg, dur)
+                        for seg, dur in dag["segments"].items()
+                        if dur > 0.0
+                    ),
+                    key=lambda kv: -kv[1],
+                )[:3]
+                breakdown = "  ".join(
+                    f"{seg}={dur:.3f}" for seg, dur in top
+                ) or "-"
+                print(f"{str(dag.get('shard_id', '-')):<14s} "
+                      f"{dag['request_id']:>4d} {dag['flow_id']:>4d} "
+                      f"{str(dag.get('outcome')):<12s} "
+                      f"{dag['e2e_ms']:>10.3f}  {breakdown}")
+            return 0
+
+        if args.obs_command == "critical-path":
+            for dag in _dags():
+                if dag["request_id"] != args.request:
+                    continue
+                if args.seed is not None and dag.get("seed") != args.seed:
+                    continue
+                report = critical_path(dag)
+                print(f"request {report['request_id']} "
+                      f"(flow {report['flow_id']}, {report['outcome']}): "
+                      f"{report['e2e_ms']:.3f} ms end-to-end")
+                for step in report["steps"]:
+                    print(f"  {step['t0']:>10.3f} -> {step['t1']:>10.3f} ms "
+                          f"{step['segment']:<17s} {step['dur_ms']:>9.3f} ms  "
+                          f"{step['from']} -> {step['to']} @{step['node']}")
+                print("attribution:")
+                for segment, total in report["segment_totals"].items():
+                    if total > 0.0:
+                        print(f"  {segment:<17s} {total:>9.3f} ms")
+                return 0
+            print(f"error: no request {args.request} in {args.causal!r}",
+                  file=sys.stderr)
+            return 1
+
+        if args.obs_command == "perfetto":
+            doc = perfetto_trace(_dags())
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle)
+            print(f"wrote {len(doc['traceEvents'])} trace events to "
+                  f"{args.out} (open in ui.perfetto.dev)")
+            return 0
+    except BrokenPipeError:
+        raise                     # main() exits quietly on closed pipes
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read causal file {args.causal!r}: {exc}",
+              file=sys.stderr)
+        return 1
     raise ValueError(f"unknown obs command {args.obs_command!r}")
 
 
@@ -306,7 +389,11 @@ def main(argv=None) -> int:
     sub.add_parser("demo", help="traced Fig. 1 DL update walk-through")
     prun = sub.add_parser("run", help="execute a JSON experiment spec")
     prun.add_argument("spec", help="path to the spec file")
-    pobs = sub.add_parser("obs", help="observability: trace export / filter / summary")
+    pobs = sub.add_parser(
+        "obs",
+        help="observability: trace export / filter / summary, "
+             "causal requests / critical-path / perfetto",
+    )
     obs_sub = pobs.add_subparsers(dest="obs_command", required=True)
     pexp = obs_sub.add_parser(
         "export", help="run the instrumented Fig. 1 demo and export its trace"
@@ -325,6 +412,36 @@ def main(argv=None) -> int:
     pfil.add_argument("--out", default="-", help="output path, or - for stdout")
     psum = obs_sub.add_parser("summary", help="summarize an exported JSONL trace")
     psum.add_argument("trace", help="path to a JSONL trace")
+    preq = obs_sub.add_parser(
+        "requests",
+        help="per-request latency attribution table from a causal sidecar",
+    )
+    preq.add_argument(
+        "causal", help="path to a TRACE_*.causal.jsonl[.gz] sidecar"
+    )
+    pcp = obs_sub.add_parser(
+        "critical-path", help="critical path of one request's causal DAG"
+    )
+    pcp.add_argument(
+        "causal", help="path to a TRACE_*.causal.jsonl[.gz] sidecar"
+    )
+    pcp.add_argument(
+        "--request", type=int, required=True, help="request id to extract"
+    )
+    pcp.add_argument(
+        "--seed", type=int, default=None,
+        help="disambiguate across seeded replicas (default: first match)",
+    )
+    pperf = obs_sub.add_parser(
+        "perfetto",
+        help="export request DAGs as Chrome trace-event JSON (ui.perfetto.dev)",
+    )
+    pperf.add_argument(
+        "causal", help="path to a TRACE_*.causal.jsonl[.gz] sidecar"
+    )
+    pperf.add_argument(
+        "--out", default="TRACE_perfetto.json", help="output JSON path"
+    )
     from repro.analysis.cli import add_analyze_parser, cmd_analyze
     from repro.chaos.cli import add_chaos_parser, cmd_chaos
     from repro.serve.cli import add_serve_parser, cmd_serve

@@ -15,6 +15,16 @@ See ``docs/OBSERVABILITY.md`` for the metric names, the span taxonomy
 and the BENCH manifest schema.
 """
 
+from repro.obs.causal import (
+    SEGMENTS,
+    CausalTracker,
+    critical_path,
+    iter_causal_jsonl,
+    nearest_rank,
+    perfetto_trace,
+    summarize_attribution,
+    write_causal_jsonl,
+)
 from repro.obs.context import NULL_OBS, ObsContext, make_obs
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
@@ -39,6 +49,7 @@ from repro.obs.tracefile import (
     export_trace_jsonl,
     filter_events,
     import_trace_jsonl,
+    iter_filter_events,
     iter_trace_jsonl,
     summarize_events,
 )
@@ -47,6 +58,14 @@ __all__ = [
     "NULL_OBS",
     "ObsContext",
     "make_obs",
+    "SEGMENTS",
+    "CausalTracker",
+    "critical_path",
+    "iter_causal_jsonl",
+    "nearest_rank",
+    "perfetto_trace",
+    "summarize_attribution",
+    "write_causal_jsonl",
     "MANIFEST_SCHEMA",
     "build_manifest",
     "load_manifest",
@@ -67,6 +86,7 @@ __all__ = [
     "export_trace_jsonl",
     "filter_events",
     "import_trace_jsonl",
+    "iter_filter_events",
     "iter_trace_jsonl",
     "summarize_events",
 ]

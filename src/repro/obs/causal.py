@@ -1,0 +1,516 @@
+"""Per-request causal tracing with critical-path latency attribution.
+
+The serve layer (``repro.serve``) reports end-to-end SLO percentiles,
+but a percentile cannot say *where* a slow request spent its time: in
+the admission queue, blocked behind a same-flow/footprint conflict,
+waiting out control-plane retransmissions under chaos, or in data-plane
+verification.  The :class:`CausalTracker` threads a ``request_id``
+context from admission through the orchestrator, the controller's
+prepare/push path, reliable-control retries and the per-switch
+verification events, recording a causal DAG of typed edges per request
+— every timestamp on the **simulated** clock.
+
+Attribution model
+-----------------
+
+At any simulated instant a live request is in exactly one *segment*
+state (:data:`SEGMENTS`).  Every causal event appends one timeline
+edge ``prev_event -> new_event`` labelled with the segment the request
+occupied during that interval.  Because the edges tile the request's
+lifetime with no gaps or overlaps, the per-segment duration sums
+telescope to exactly the end-to-end latency — the invariant the
+``trace-smoke`` CI job asserts on every request.  Durations accumulate
+as exact :class:`fractions.Fraction` values (event times are binary
+floats, hence exact rationals), so the only residual is the final
+float conversion: well under the 1e-9 ms acceptance bound.
+
+Zero-overhead contract: the tracker hangs off ``ObsContext.causal``
+(``None`` on :data:`~repro.obs.context.NULL_OBS`), every hook site
+guards with one attribute read, and the tracker never touches the sim
+clock, the RNG streams or the :class:`~repro.sim.trace.Trace` — a
+causal-traced run's trace signature is byte-identical to an untraced
+run (asserted by ``tests/serve/test_causal_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Iterable, Iterator, Optional
+
+#: The fixed attribution schema: every simulated millisecond of a
+#: request's life lands in exactly one of these buckets.
+SEGMENTS = (
+    "queue_wait",         # admission queue / token bucket / in-flight cap
+    "conflict_wait",      # blocked behind a same-flow or footprint conflict
+    "prepare",            # controller queueing + prepare service time
+    "control_rtt",        # controller <-> switch message travel (UIM out, UFM back)
+    "retry_backoff",      # waiting out a lost message until a retransmit/retrigger
+    "dataplane_verify",   # per-switch install + local verification chain
+    "recovery",           # failure recovery owns the flow (abort/park/reroute)
+)
+
+#: Wait-states a queued request can occupy (subset of SEGMENTS).
+WAIT_STATES = ("queue_wait", "conflict_wait", "recovery")
+
+_ORCH = "orchestrator"
+
+
+class _Track:
+    """Mutable per-request tracking state (internal)."""
+
+    __slots__ = (
+        "request_id", "flow_id", "state", "last_t", "pushed", "done",
+        "outcome", "version", "events", "edges", "segments",
+    )
+
+    def __init__(self, request_id: int, flow_id: int, t: float) -> None:
+        self.request_id = request_id
+        self.flow_id = flow_id
+        self.state = "queue_wait"
+        self.last_t = t
+        self.pushed = False
+        self.done = False
+        self.outcome: Optional[str] = None
+        self.version: Optional[int] = None
+        self.events: list[dict[str, Any]] = []
+        self.edges: list[dict[str, Any]] = []
+        self.segments: dict[str, Fraction] = {s: Fraction(0) for s in SEGMENTS}
+
+
+class CausalTracker:
+    """Records one causal DAG per update request.
+
+    All methods are cheap bookkeeping on plain python state; none of
+    them schedules events, samples RNGs or records trace events, so a
+    tracked run is bit-identical to an untracked one in simulated time.
+    """
+
+    def __init__(self) -> None:
+        self._tracks: dict[int, _Track] = {}
+        self._by_flow: dict[int, int] = {}
+
+    # -- request lifecycle --------------------------------------------------
+
+    def submit(self, request_id: int, flow_id: int, t: float) -> None:
+        track = _Track(request_id, flow_id, t)
+        self._tracks[request_id] = track
+        track.events.append(
+            {"id": 0, "t": t, "kind": "submitted", "node": _ORCH}
+        )
+
+    def mark(
+        self,
+        request_id: int,
+        t: float,
+        kind: str,
+        node: str,
+        state: Optional[str] = None,
+        close_as: Optional[str] = None,
+        **detail: Any,
+    ) -> None:
+        """Append one causal event, closing the open interval.
+
+        The interval ``[last_event, t]`` is attributed to ``close_as``
+        (default: the request's current segment state); afterwards the
+        state becomes ``state`` when given.
+        """
+        track = self._tracks.get(request_id)
+        if track is None or track.done:
+            return
+        self._append(track, t, kind, node, close_as, detail)
+        if state is not None:
+            track.state = state
+
+    def set_state(self, request_id: int, t: float, state: str) -> None:
+        """Reclassify the wait state; records an edge only on change."""
+        track = self._tracks.get(request_id)
+        if track is None or track.done or track.state == state:
+            return
+        self._append(
+            track, t, "wait", _ORCH, None, {"from": track.state, "to": state}
+        )
+        track.state = state
+
+    def pushed(self, request_id: int, t: float, node: str,
+               version: Optional[int]) -> None:
+        """The prepared update entered the control channel."""
+        track = self._tracks.get(request_id)
+        if track is None or track.done:
+            return
+        self._append(track, t, "pushed", node, None, {"version": version})
+        track.state = "control_rtt"
+        track.pushed = True
+        track.version = version
+
+    def finish(self, request_id: int, t: float, outcome: str) -> None:
+        """Terminal outcome reached; closes the tail interval.
+
+        * ``completed`` — a tail still in ``control_rtt`` or
+          ``dataplane_verify`` closes as ``control_rtt`` (the UFM
+          return leg to the controller plus the completion callback);
+        * ``aborted`` / ``flow_parked`` — the tail is failure handling:
+          ``recovery``;
+        * anything else closes as the current state.
+        """
+        track = self._tracks.get(request_id)
+        if track is None or track.done:
+            return
+        if outcome in ("aborted", "flow_parked"):
+            close_as = "recovery"
+        elif outcome == "completed" and track.state in (
+            "control_rtt", "dataplane_verify"
+        ):
+            close_as = "control_rtt"
+        else:
+            close_as = track.state
+        self._append(track, t, "done", _ORCH, close_as, {"outcome": outcome})
+        track.done = True
+        track.outcome = outcome
+
+    # -- flow routing (control/data plane hooks) ----------------------------
+
+    def bind_flow(self, flow_id: int, request_id: int) -> None:
+        """While a request is in flight its flow routes events to it
+        (at most one in-flight request per flow, by construction)."""
+        self._by_flow[flow_id] = request_id
+
+    def unbind_flow(self, flow_id: int) -> None:
+        self._by_flow.pop(flow_id, None)
+
+    def flow_event(
+        self, flow_id: Any, t: float, kind: str, node: str, **detail: Any
+    ) -> None:
+        """Route a flow-tagged trace event to its in-flight request.
+
+        Only meaningful after the push (pre-push events for the flow —
+        e.g. recovery writes — belong to the chaos layer, not to this
+        request).  ``update_done`` closes as ``control_rtt`` (the UFM
+        just landed back at the controller); abort/park events switch
+        the request into ``recovery``; everything else is data-plane
+        install/verify work.
+        """
+        request_id = self._by_flow.get(flow_id)  # type: ignore[arg-type]
+        if request_id is None:
+            return
+        track = self._tracks.get(request_id)
+        if track is None or track.done or not track.pushed:
+            return
+        if kind == "update_done":
+            close_as: Optional[str] = "control_rtt"
+            state = "control_rtt"
+        elif kind in ("update_aborted", "flow_parked"):
+            close_as = None
+            state = "recovery"
+        else:
+            close_as = None
+            state = "dataplane_verify"
+        self._append(track, t, kind, node, close_as, detail)
+        track.state = state
+
+    def retry(
+        self, flow_id: Any, t: float, kind: str, node: str, **detail: Any
+    ) -> None:
+        """A retransmission / §11 re-trigger fired for the flow.
+
+        The idle gap since the last event is what the retry waited out
+        — it closes as ``retry_backoff``; the resent message then
+        travels as ``control_rtt``.
+        """
+        request_id = self._by_flow.get(flow_id)  # type: ignore[arg-type]
+        if request_id is None:
+            return
+        track = self._tracks.get(request_id)
+        if track is None or track.done or not track.pushed:
+            return
+        close_as = (
+            "retry_backoff"
+            if track.state in ("control_rtt", "dataplane_verify")
+            else None
+        )
+        self._append(track, t, kind, node, close_as, detail)
+        track.state = "control_rtt"
+
+    # -- internals ----------------------------------------------------------
+
+    def _append(
+        self,
+        track: _Track,
+        t: float,
+        kind: str,
+        node: str,
+        close_as: Optional[str],
+        detail: dict[str, Any],
+    ) -> None:
+        segment = close_as if close_as is not None else track.state
+        duration = Fraction(t) - Fraction(track.last_t)
+        track.segments[segment] += duration
+        eid = len(track.events)
+        event: dict[str, Any] = {"id": eid, "t": t, "kind": kind, "node": node}
+        if detail:
+            event.update(detail)
+        track.events.append(event)
+        track.edges.append(
+            {
+                "src": eid - 1,
+                "dst": eid,
+                "segment": segment,
+                "dur_ms": float(duration),
+            }
+        )
+        track.last_t = t
+
+    # -- exports ------------------------------------------------------------
+
+    def attribution_rows(self) -> list[dict[str, Any]]:
+        """Compact per-request attribution (sorted by request id)."""
+        rows = []
+        for request_id in sorted(self._tracks):
+            track = self._tracks[request_id]
+            segments = {s: float(track.segments[s]) for s in SEGMENTS}
+            rows.append(
+                {
+                    "request_id": track.request_id,
+                    "flow_id": track.flow_id,
+                    "outcome": track.outcome,
+                    "e2e_ms": float(sum(track.segments.values())),
+                    "segments": segments,
+                }
+            )
+        return rows
+
+    def dags(self) -> list[dict[str, Any]]:
+        """Full causal DAGs (events + typed edges), sorted by request."""
+        docs = []
+        for request_id in sorted(self._tracks):
+            track = self._tracks[request_id]
+            segments = {s: float(track.segments[s]) for s in SEGMENTS}
+            e2e = float(sum(track.segments.values()))
+            docs.append(
+                {
+                    "request_id": track.request_id,
+                    "flow_id": track.flow_id,
+                    "outcome": track.outcome,
+                    "version": track.version,
+                    "e2e_ms": e2e,
+                    "segments": segments,
+                    "events": list(track.events),
+                    "edges": list(track.edges),
+                }
+            )
+        return docs
+
+
+# -- critical path ------------------------------------------------------------
+
+
+def critical_path(dag: dict) -> dict[str, Any]:
+    """Extract the critical path of one request DAG.
+
+    Walks back from the terminal event, at each node choosing the
+    incoming edge whose source event is latest (ties: largest event
+    id).  On the timeline DAGs the tracker records this is the full
+    event chain; the extractor stays general so additional non-timeline
+    edge types keep working.
+    """
+    events = {e["id"]: e for e in dag["events"]}
+    incoming: dict[int, list[dict]] = {}
+    for edge in dag["edges"]:
+        incoming.setdefault(edge["dst"], []).append(edge)
+    terminal = max(events) if events else 0
+    steps: list[dict[str, Any]] = []
+    cursor = terminal
+    while cursor in incoming:
+        edge = max(
+            incoming[cursor],
+            key=lambda e: (events[e["src"]]["t"], e["src"]),
+        )
+        src, dst = events[edge["src"]], events[edge["dst"]]
+        steps.append(
+            {
+                "t0": src["t"],
+                "t1": dst["t"],
+                "segment": edge["segment"],
+                "dur_ms": edge["dur_ms"],
+                "from": src["kind"],
+                "to": dst["kind"],
+                "node": dst["node"],
+            }
+        )
+        cursor = edge["src"]
+    steps.reverse()
+    totals = {s: 0.0 for s in SEGMENTS}
+    for step in steps:
+        totals[step["segment"]] += step["dur_ms"]
+    return {
+        "request_id": dag["request_id"],
+        "flow_id": dag["flow_id"],
+        "outcome": dag.get("outcome"),
+        "e2e_ms": dag.get("e2e_ms"),
+        "steps": steps,
+        "segment_totals": totals,
+    }
+
+
+# -- aggregation --------------------------------------------------------------
+
+
+def nearest_rank(values: list[float], pct: int) -> Optional[float]:
+    """Nearest-rank percentile — pure python, no float surprises."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * pct // 100))  # ceil without floats
+    return ordered[rank - 1]
+
+
+def summarize_attribution(rows: Iterable[dict]) -> dict[str, Any]:
+    """Deterministic fleet summary of per-request attribution rows.
+
+    Worker-count independent by construction: the rows are pure
+    simulated-time facts, and nearest-rank percentiles over the merged
+    row set do not depend on which shard contributed which row.
+    """
+    rows = list(rows)
+    doc: dict[str, Any] = {"requests": len(rows)}
+    e2e = [float(r["e2e_ms"]) for r in rows]
+    doc["e2e_ms"] = _series(e2e)
+    segments: dict[str, Any] = {}
+    for segment in SEGMENTS:
+        segments[segment] = _series(
+            [float(r["segments"][segment]) for r in rows]
+        )
+    doc["segments"] = segments
+    doc["residual_max_ms"] = max(
+        (
+            abs(sum(r["segments"][s] for s in SEGMENTS) - float(r["e2e_ms"]))
+            for r in rows
+        ),
+        default=0.0,
+    )
+    return doc
+
+
+def _series(values: list[float]) -> dict[str, Any]:
+    return {
+        "count": len(values),
+        "p50": nearest_rank(values, 50),
+        "p90": nearest_rank(values, 90),
+        "p99": nearest_rank(values, 99),
+        "max": max(values) if values else None,
+        "total": sum(values),
+    }
+
+
+# -- Perfetto / Chrome trace export -------------------------------------------
+
+
+def perfetto_trace(dags: Iterable[dict]) -> dict[str, Any]:
+    """Chrome trace-event JSON viewable in ``ui.perfetto.dev``.
+
+    One thread per request (tid = request id); every attribution
+    interval becomes a complete slice (``ph: "X"``) named after its
+    segment, and every causal event an instant (``ph: "i"``).  All
+    timestamps convert simulated ms -> trace µs.
+    """
+    trace_events: list[dict[str, Any]] = [
+        {
+            "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+            "args": {"name": "repro.serve requests"},
+        }
+    ]
+    for dag in dags:
+        tid = int(dag["request_id"])
+        label = (
+            f"request {dag['request_id']} "
+            f"(flow {dag['flow_id']}, {dag.get('outcome')})"
+        )
+        trace_events.append(
+            {
+                "ph": "M", "name": "thread_name", "pid": 0, "tid": tid,
+                "args": {"name": label},
+            }
+        )
+        events = {e["id"]: e for e in dag["events"]}
+        for edge in dag["edges"]:
+            if edge["dur_ms"] <= 0.0:
+                continue
+            src = events[edge["src"]]
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": edge["segment"],
+                    "cat": "attribution",
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": src["t"] * 1000.0,
+                    "dur": edge["dur_ms"] * 1000.0,
+                    "args": {
+                        "from": src["kind"],
+                        "to": events[edge["dst"]]["kind"],
+                    },
+                }
+            )
+        for event in dag["events"]:
+            args = {
+                k: v for k, v in event.items()
+                if k not in ("id", "t", "kind", "node")
+            }
+            args["node"] = event["node"]
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "name": event["kind"],
+                    "cat": "causal",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": event["t"] * 1000.0,
+                    "args": args,
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+# -- sidecar persistence ------------------------------------------------------
+
+
+def write_causal_jsonl(dags: Iterable[dict], path_or_file: Any) -> int:
+    """One request DAG per JSONL line (``.gz`` paths gzip on the fly)."""
+    from repro.obs.tracefile import _open
+
+    handle, owned = _open(path_or_file, "w")
+    count = 0
+    try:
+        for dag in dags:
+            handle.write(json.dumps(dag, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    finally:
+        if owned:
+            handle.close()
+    return count
+
+
+def iter_causal_jsonl(path_or_file: Any) -> Iterator[dict]:
+    """Stream request DAGs back from a sidecar file."""
+    from repro.obs.tracefile import _open
+
+    handle, owned = _open(path_or_file, "r")
+    try:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"bad causal line {lineno}: {exc}"
+                ) from exc
+            if not isinstance(doc, dict):
+                raise ValueError(f"bad causal line {lineno}: not an object")
+            yield doc
+    finally:
+        if owned:
+            handle.close()

@@ -15,28 +15,37 @@ Design contract:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.obs.profiler import EngineProfiler
 from repro.obs.registry import MetricsRegistry, NullRegistry
 from repro.obs.spans import NullSpanTracker, SpanTracker
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.causal import CausalTracker
+
 
 class ObsContext:
-    """Bundle of a metrics registry, a span tracker and an optional
-    engine profiler, shared by every layer of one run."""
+    """Bundle of a metrics registry, a span tracker, an optional
+    engine profiler and an optional per-request causal tracker,
+    shared by every layer of one run."""
 
-    __slots__ = ("metrics", "spans", "profiler")
+    __slots__ = ("metrics", "spans", "profiler", "causal")
 
     def __init__(
         self,
         metrics: MetricsRegistry,
         spans: SpanTracker,
         profiler: Optional[EngineProfiler] = None,
+        causal: Optional["CausalTracker"] = None,
     ) -> None:
         self.metrics = metrics
         self.spans = spans
         self.profiler = profiler
+        # Per-request causal tracing (repro.obs.causal).  Hook sites
+        # guard with ``if self.obs.causal is not None:`` — one slot
+        # read on the disabled path, same contract as ``enabled``.
+        self.causal = causal
 
     @property
     def enabled(self) -> bool:
@@ -74,12 +83,19 @@ class ObsContext:
         return out
 
 
-def make_obs(profile: bool = False) -> ObsContext:
-    """A fresh enabled context (optionally with engine profiling)."""
+def make_obs(profile: bool = False, causal: bool = False) -> ObsContext:
+    """A fresh enabled context (optionally with engine profiling
+    and/or per-request causal tracing)."""
+    tracker = None
+    if causal:
+        from repro.obs.causal import CausalTracker
+
+        tracker = CausalTracker()
     return ObsContext(
         MetricsRegistry(),
         SpanTracker(),
         EngineProfiler() if profile else None,
+        causal=tracker,
     )
 
 

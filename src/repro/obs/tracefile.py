@@ -53,7 +53,12 @@ def event_from_dict(doc: dict) -> TraceEvent:
 def _open(path_or_file: PathOrFile, mode: str):
     if hasattr(path_or_file, "write") or hasattr(path_or_file, "read"):
         return path_or_file, False
-    return open(path_or_file, mode, encoding="utf-8"), True
+    path = os.fspath(path_or_file)
+    if path.endswith(".gz"):
+        import gzip
+
+        return gzip.open(path, mode + "t", encoding="utf-8"), True
+    return open(path, mode, encoding="utf-8"), True
 
 
 def export_trace_jsonl(
@@ -98,17 +103,21 @@ def import_trace_jsonl(path_or_file: PathOrFile) -> Trace:
     return trace
 
 
-def filter_events(
+def iter_filter_events(
     events: Iterable[TraceEvent],
     kinds: Optional[Iterable[str]] = None,
     nodes: Optional[Iterable[str]] = None,
     t0: Optional[float] = None,
     t1: Optional[float] = None,
-) -> list[TraceEvent]:
-    """Subset of ``events`` matching every given criterion."""
+) -> Iterator[TraceEvent]:
+    """Lazily yield the events matching every given criterion.
+
+    Streaming counterpart of :func:`filter_events`: composes with
+    :func:`iter_trace_jsonl` so the CLI filters arbitrarily large
+    traces without materializing them.
+    """
     kind_set = set(kinds) if kinds else None
     node_set = set(nodes) if nodes else None
-    out = []
     for event in events:
         if kind_set is not None and event.kind not in kind_set:
             continue
@@ -118,8 +127,18 @@ def filter_events(
             continue
         if t1 is not None and event.time > t1:
             continue
-        out.append(event)
-    return out
+        yield event
+
+
+def filter_events(
+    events: Iterable[TraceEvent],
+    kinds: Optional[Iterable[str]] = None,
+    nodes: Optional[Iterable[str]] = None,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+) -> list[TraceEvent]:
+    """Subset of ``events`` matching every given criterion."""
+    return list(iter_filter_events(events, kinds, nodes, t0, t1))
 
 
 def summarize_events(events: Iterable[TraceEvent]) -> dict:

@@ -162,6 +162,14 @@ class SimParams:
     # -- safety horizon ------------------------------------------------------
     max_sim_time_ms: float = 60_000.0
 
+    # -- tracing -------------------------------------------------------------
+    # Bound on retained trace events (0 = unbounded).  When positive the
+    # Trace becomes a ring keeping only the newest events, with drops
+    # counted in ``Trace.dropped_events`` — million-request serve runs
+    # can trace without OOMing.  Live subscribers (consistency checker,
+    # orchestrator) still see every event.
+    trace_max_events: int = 0
+
     def rng(self) -> np.random.Generator:
         return np.random.default_rng(self.seed)
 

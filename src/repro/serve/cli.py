@@ -75,6 +75,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import dataclasses
+    import os
+
     from repro.obs import make_obs
     from repro.obs.manifest import write_manifest
     from repro.sweep.executor import run_sweep
@@ -83,6 +86,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load(args.spec)
     if spec is None:
         return 1
+    if args.causal and not spec.causal:
+        spec = dataclasses.replace(spec, causal=True)
     sweep = _wrap_spec(spec, seeds=args.seeds, obs=args.obs)
     print(f"serve {spec.name!r}: {args.seeds} seeded replica(s), "
           f"{args.workers} worker(s)"
@@ -103,6 +108,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{failure['error_type']}: {failure['message']}",
             file=sys.stderr,
         )
+    # Causal DAGs are bulky: they leave the shard documents for a
+    # sidecar JSONL (gzipped), keeping the manifest lean.  The compact
+    # per-request attribution stays inside each shard's results.
+    causal_dags: list[dict] = []
+    for doc in sorted(run.shard_docs, key=lambda d: int(d["index"])):
+        for dag in doc.pop("causal", None) or []:
+            causal_dags.append(
+                {"shard_id": doc["shard_id"], "seed": doc["seed"], **dag}
+            )
     results = build_sweep_results(
         sweep, run.shard_docs, run.failures, run.shards_total
     )
@@ -117,6 +131,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     aggregates = results["aggregates"]
     print(f"wrote {path}")
+    if causal_dags:
+        from repro.obs.causal import write_causal_jsonl
+
+        sidecar = args.causal_out or os.path.join(
+            os.path.dirname(path) or ".",
+            f"TRACE_serve_{spec.name}.causal.jsonl.gz",
+        )
+        count = write_causal_jsonl(causal_dags, sidecar)
+        print(f"wrote {count} request DAG(s) to {sidecar}")
     print(f"signature {results['signature']}")
     print(f"  requests:   {aggregates['requests']} "
           f"({aggregates['completed']} completed)")
@@ -127,6 +150,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  consistent: {aggregates['consistent']} "
           f"({aggregates['violations']} violation(s))")
     print(f"  invariants: {'ok' if aggregates['invariants_ok'] else 'BROKEN'}")
+    attribution = aggregates.get("attribution")
+    if attribution:
+        print(f"  attribution ({attribution['requests']} request(s), "
+              f"residual max {attribution['residual_max_ms']:.2e} ms):")
+        for segment, series in attribution["segments"].items():
+            if not series["total"]:
+                continue
+            print(f"    {segment:<17s} p50={series['p50']:>9.3f} "
+                  f"p90={series['p90']:>9.3f} p99={series['p99']:>9.3f} ms")
     ok = (
         run.ok
         and aggregates["consistent"]
@@ -173,4 +205,15 @@ def add_serve_parser(sub: argparse._SubParsersAction) -> None:
     prun.add_argument(
         "--obs", action="store_true",
         help="instrument replicas with live metrics",
+    )
+    prun.add_argument(
+        "--causal", action="store_true",
+        help="per-request causal tracing + critical-path latency "
+             "attribution (repro.obs.causal)",
+    )
+    prun.add_argument(
+        "--causal-out", default=None,
+        help="sidecar path for the request DAGs "
+             "(default TRACE_serve_<name>.causal.jsonl.gz next to the "
+             "manifest; .gz gzips transparently)",
     )

@@ -40,6 +40,7 @@ class UpdateRequest:
         "flow_id",
         "submitted_ms",
         "admitted_ms",
+        "queue_depth_at_admit",
         "dispatched_ms",
         "pushed_ms",
         "last_install_ms",
@@ -53,6 +54,10 @@ class UpdateRequest:
         self.flow_id = flow_id
         self.submitted_ms = submitted_ms
         self.admitted_ms: Optional[float] = None
+        # Main-queue occupancy observed at the admission instant (cross-
+        # checks queue_wait attribution against the serve_queue_depth
+        # gauge); None for requests shed before admission.
+        self.queue_depth_at_admit: Optional[int] = None
         self.dispatched_ms: Optional[float] = None
         self.pushed_ms: Optional[float] = None
         self.last_install_ms: Optional[float] = None
@@ -84,6 +89,7 @@ class UpdateRequest:
             "flow_id": self.flow_id,
             "submitted_ms": self.submitted_ms,
             "admitted_ms": self.admitted_ms,
+            "queue_depth_at_admit": self.queue_depth_at_admit,
             "dispatched_ms": self.dispatched_ms,
             "pushed_ms": self.pushed_ms,
             "last_install_ms": self.last_install_ms,

@@ -46,15 +46,35 @@ from repro.serve.model import (
 from repro.serve.spec import ServeSpec
 from repro.serve.workload import ServiceFlow
 from repro.sim.trace import (
+    KIND_FLOW_PARKED,
     KIND_REQUEST_DISPATCHED,
     KIND_REQUEST_DONE,
     KIND_REQUEST_SHED,
     KIND_REQUEST_SUBMITTED,
     KIND_RULE_CHANGE,
+    KIND_UPDATE_ABORTED,
+    KIND_UPDATE_DONE,
+    KIND_VERIFY_FAIL,
+    KIND_VERIFY_OK,
     TraceEvent,
 )
 
 _ORCH = "orchestrator"
+
+#: Flow-tagged trace kinds routed into the causal tracker.  Same-flow
+#: updates serialize (one in-flight request per flow), so the flow id
+#: in the event detail identifies the request unambiguously.
+_CAUSAL_TRACE_KINDS = frozenset(
+    {
+        KIND_RULE_CHANGE,
+        "rule_staged",
+        KIND_VERIFY_OK,
+        KIND_VERIFY_FAIL,
+        KIND_UPDATE_DONE,
+        KIND_UPDATE_ABORTED,
+        KIND_FLOW_PARKED,
+    }
+)
 
 
 class ServiceOrchestrator:
@@ -73,6 +93,11 @@ class ServiceOrchestrator:
         self.controller = deployment.controller
         self.trace = deployment.network.trace
         self.obs = obs if obs is not None else NULL_OBS
+        # Per-request causal tracing (None unless the run enables it).
+        # The tracker is pure bookkeeping: it never schedules events,
+        # samples RNGs or records trace events, so tracked runs stay
+        # bit-identical to untracked runs in simulated time.
+        self._causal = self.obs.causal
         self.flows = {f.flow_id: f for f in population}
         # Admission state.
         self.pending: deque[UpdateRequest] = deque()
@@ -144,13 +169,21 @@ class ServiceOrchestrator:
             now, KIND_REQUEST_SUBMITTED, _ORCH,
             request=request.request_id, flow=flow_id,
         )
+        if self._causal is not None:
+            self._causal.submit(request.request_id, flow_id, now)
         if self.spec.conflict_policy == "merge":
             self._merge_queued(request)
         if len(self.pending) >= self.spec.queue_depth:
             self._shed(request)
         else:
             request.admitted_ms = now
+            request.queue_depth_at_admit = len(self.pending)
             self.pending.append(request)
+            if self._causal is not None:
+                self._causal.mark(
+                    request.request_id, now, "admitted", _ORCH,
+                    queue_depth=request.queue_depth_at_admit,
+                )
         self._gauges()
         self.pump()
         return request
@@ -187,7 +220,13 @@ class ServiceOrchestrator:
         while self.parked_requests and len(self.pending) < self.spec.queue_depth:
             request = self.parked_requests.popleft()
             request.admitted_ms = self.engine.now
+            request.queue_depth_at_admit = len(self.pending)
             self.pending.append(request)
+            if self._causal is not None:
+                self._causal.mark(
+                    request.request_id, self.engine.now, "admitted", _ORCH,
+                    queue_depth=request.queue_depth_at_admit,
+                )
 
     # -- dispatch ------------------------------------------------------------
 
@@ -228,12 +267,44 @@ class ServiceOrchestrator:
                     continue
                 if not self._take_token():
                     self._arm_token_wake()
+                    self._causal_reclassify()
                     self._gauges()
                     return
                 self.pending.remove(request)
                 self._dispatch(request)
                 progressed = True
+        self._causal_reclassify()
         self._gauges()
+
+    def _wait_reason(self, request: UpdateRequest) -> str:
+        """Why a queued request is not dispatching right now."""
+        flow_id = request.flow_id
+        if flow_id in self.in_flight:
+            return "conflict_wait"
+        record = self.controller.flow_db.get(flow_id)
+        if record is not None and (
+            record.parked or record.pending_version is not None
+        ):
+            return "recovery"
+        if self.spec.switch_conflict == "serialize":
+            if any(n in self._busy_switches for n in self._footprint(flow_id)):
+                return "conflict_wait"
+        return "queue_wait"
+
+    def _causal_reclassify(self) -> None:
+        """Re-label every waiting request's current segment.
+
+        Runs at each ``pump`` exit point — the only instants blocking
+        state changes — and only *reads* orchestrator/controller state,
+        so simulated time is untouched."""
+        causal = self._causal
+        if causal is None:
+            return
+        now = self.engine.now
+        for request in self.pending:
+            causal.set_state(request.request_id, now, self._wait_reason(request))
+        for request in self.parked_requests:
+            causal.set_state(request.request_id, now, self._wait_reason(request))
 
     def _dispatch(self, request: UpdateRequest) -> None:
         now = self.engine.now
@@ -246,6 +317,11 @@ class ServiceOrchestrator:
             now, KIND_REQUEST_DISPATCHED, _ORCH,
             request=request.request_id, flow=request.flow_id,
         )
+        if self._causal is not None:
+            self._causal.mark(
+                request.request_id, now, "dispatched", _ORCH, state="prepare"
+            )
+            self._causal.bind_flow(request.flow_id, request.request_id)
         if self.obs.enabled:
             self.obs.observe(
                 "serve_admission_wait_ms", now - request.submitted_ms
@@ -268,6 +344,11 @@ class ServiceOrchestrator:
             # Failure recovery grabbed the flow between dispatch and
             # execution — back to the queue, slot freed.
             self._release(request.flow_id)
+            if self._causal is not None:
+                self._causal.mark(
+                    request.request_id, self.engine.now, "requeued", _ORCH,
+                    state="recovery",
+                )
             self.pending.appendleft(request)
             self.pump()
             return
@@ -279,6 +360,11 @@ class ServiceOrchestrator:
         prepared = self.controller.prepare_update(request.flow_id, target)
         request.version = prepared.version
         request.pushed_ms = self.engine.now
+        if self._causal is not None:
+            self._causal.pushed(
+                request.request_id, self.engine.now,
+                self.controller.name, prepared.version,
+            )
         if self.obs.enabled:
             self.obs.observe(
                 "serve_prepare_ms",
@@ -309,13 +395,27 @@ class ServiceOrchestrator:
         self.pump()
 
     def _on_trace_event(self, event: TraceEvent) -> None:
-        if event.kind != KIND_RULE_CHANGE:
-            return
-        request = self.in_flight.get(event.detail.get("flow", -1))
-        if request is not None and request.pushed_ms is not None:
-            request.last_install_ms = event.time
+        if event.kind == KIND_RULE_CHANGE:
+            request = self.in_flight.get(event.detail.get("flow", -1))
+            if request is not None and request.pushed_ms is not None:
+                request.last_install_ms = event.time
+        if self._causal is not None and event.kind in _CAUSAL_TRACE_KINDS:
+            flow = event.detail.get("flow")
+            if flow is not None:
+                version = event.detail.get("version")
+                if version is not None:
+                    self._causal.flow_event(
+                        flow, event.time, event.kind, event.node,
+                        version=version,
+                    )
+                else:
+                    self._causal.flow_event(
+                        flow, event.time, event.kind, event.node
+                    )
 
     def _release(self, flow_id: int) -> None:
+        if self._causal is not None:
+            self._causal.unbind_flow(flow_id)
         if self.in_flight.pop(flow_id, None) is None:
             return
         for node in self._footprint(flow_id):
@@ -333,6 +433,8 @@ class ServiceOrchestrator:
             request=request.request_id, flow=request.flow_id,
             outcome=outcome,
         )
+        if self._causal is not None:
+            self._causal.finish(request.request_id, now, outcome)
         if self.obs.enabled:
             self.obs.count("serve_requests", outcome=outcome)
             if outcome == OUTCOME_COMPLETED:

@@ -24,7 +24,10 @@ from repro.chaos.campaign import TopoEvent
 from repro.chaos.runner import TOPOLOGIES, _apply_topo_event, trace_signature
 from repro.consistency.checker import LiveChecker
 from repro.harness.build import build_p4update_network
+from repro.obs.causal import CausalTracker, summarize_attribution
 from repro.obs.context import NULL_OBS, ObsContext
+from repro.obs.registry import NullRegistry
+from repro.obs.spans import NullSpanTracker
 from repro.params import SimParams
 from repro.serve.model import OUTCOME_COMPLETED, OUTCOMES
 from repro.serve.orchestrator import ServiceOrchestrator
@@ -76,6 +79,12 @@ class ServiceResult:
     events_processed: int
     trace_sig: str
     invariants_ok: bool = True
+    trace_dropped: int = 0
+    # Critical-path latency attribution (spec.causal runs only):
+    # deterministic per-request rows + summary, and the full causal
+    # DAGs (lifted out of ``results`` by the sweep worker).
+    attribution: Optional[dict] = None
+    causal: Optional[list] = None
 
     @property
     def consistent(self) -> bool:
@@ -112,6 +121,17 @@ class ServiceResult:
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def to_results(self) -> dict[str, Any]:
+        doc = self._base_results()
+        if self.attribution is not None:
+            doc["attribution"] = self.attribution
+        if self.causal is not None:
+            # Leading underscore: the sweep worker lifts the DAGs out
+            # of ``results`` (like ``_wall``) so they ride the shard
+            # document without entering the aggregate signature.
+            doc["_causal"] = self.causal
+        return doc
+
+    def _base_results(self) -> dict[str, Any]:
         return {
             "name": self.spec.name,
             "topology": self.spec.topology,
@@ -130,6 +150,7 @@ class ServiceResult:
             "events_processed": self.events_processed,
             "signature": self.signature(),
             "trace_signature": self.trace_sig,
+            "trace_dropped_events": self.trace_dropped,
             "records": self.records,
         }
 
@@ -152,6 +173,16 @@ def run_service(
     """Run one complete service workload described by ``spec``."""
     reset_global_state()
     obs = obs if obs is not None else NULL_OBS
+    tracker: Optional[CausalTracker] = None
+    if spec.causal:
+        tracker = CausalTracker()
+        if obs is NULL_OBS:
+            # Causal tracing without metrics: a fresh disabled-metrics
+            # context carrying only the tracker (never mutate the
+            # shared NULL_OBS singleton).
+            obs = ObsContext(NullRegistry(), NullSpanTracker(), causal=tracker)
+        else:
+            obs.causal = tracker
     topo = TOPOLOGIES[spec.topology]()
     params = SimParams(seed=spec.seed)
     if spec.params:
@@ -287,6 +318,13 @@ def run_service(
         for r in records
     )
 
+    attribution = None
+    causal_dags = None
+    if tracker is not None:
+        rows = tracker.attribution_rows()
+        attribution = {"rows": rows, "summary": summarize_attribution(rows)}
+        causal_dags = tracker.dags()
+
     return ServiceResult(
         spec=spec,
         records=records,
@@ -298,4 +336,7 @@ def run_service(
         events_processed=engine.processed_events,
         trace_sig=trace_signature(deployment.network.trace),
         invariants_ok=invariants_ok,
+        trace_dropped=deployment.network.trace.dropped_events,
+        attribution=attribution,
+        causal=causal_dags,
     )

@@ -89,6 +89,10 @@ class ServeSpec:
     params: dict = field(default_factory=dict)
     events: tuple = ()                 # chaos TopoEvent dicts
     obs: bool = False
+    # Per-request causal tracing + critical-path latency attribution
+    # (repro.obs.causal).  Purely additive: the simulated trace stays
+    # bit-identical to a causal=False run.
+    causal: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -171,6 +175,7 @@ class ServeSpec:
             "params": dict(self.params),
             "events": [dict(e) for e in self.events],
             "obs": self.obs,
+            "causal": self.causal,
         }
         return doc
 

@@ -8,6 +8,7 @@ the Fig. 2 bench extracts per-node packet-receive series from them.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional
 
@@ -61,21 +62,48 @@ class Trace:
     ``of_kind``/``last`` answer from the index instead of scanning the
     whole log — benches replay traces repeatedly, so those lookups are
     on the measurement path.
+
+    ``max_events`` bounds memory for very large runs: when positive,
+    the log becomes a ring keeping only the newest ``max_events``
+    events; everything older is discarded and counted in
+    ``dropped_events``.  Subscribers still see every event (live
+    checking is unaffected), only retention changes.  The default
+    (``0``) keeps the historical unbounded behaviour.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_events: int = 0) -> None:
+        self.max_events = int(max_events)
         self.events: list[TraceEvent] = []
+        self.dropped_events = 0
+        # Absolute position of events[0] (non-zero once the ring drops).
+        self._base = 0
         self._subscribers: list[Callable[[TraceEvent], None]] = []
-        # kind -> positions into self.events, each list ascending.
+        # kind -> absolute positions, each list ascending; stale (dropped)
+        # positions are pruned lazily on lookup.
         self._by_kind: dict[str, list[int]] = {}
 
     def record(self, time: float, kind: str, node: str, **detail: Any) -> TraceEvent:
         event = TraceEvent(time=time, kind=kind, node=node, detail=detail)
-        self._by_kind.setdefault(kind, []).append(len(self.events))
+        self._by_kind.setdefault(kind, []).append(self._base + len(self.events))
         self.events.append(event)
+        if self.max_events > 0 and len(self.events) > self.max_events:
+            overflow = len(self.events) - self.max_events
+            del self.events[:overflow]
+            self._base += overflow
+            self.dropped_events += overflow
         for subscriber in self._subscribers:
             subscriber(event)
         return event
+
+    def _live(self, kind: str) -> list[int]:
+        """The kind's retained positions, pruning dropped ones."""
+        positions = self._by_kind.get(kind)
+        if not positions:
+            return []
+        if positions[0] < self._base:
+            cut = bisect_left(positions, self._base)
+            del positions[:cut]
+        return positions
 
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
         """Invoke ``callback`` for every future event (live checking)."""
@@ -96,16 +124,16 @@ class Trace:
 
     def of_kind(self, *kinds: str) -> list[TraceEvent]:
         if len(kinds) == 1:
-            positions = self._by_kind.get(kinds[0], ())
+            positions: list[int] = self._live(kinds[0])
         else:
             merged: list[int] = []
             for kind in sorted(set(kinds)):
-                merged.extend(self._by_kind.get(kind, ()))
+                merged.extend(self._live(kind))
             positions = sorted(merged)
-        return [self.events[i] for i in positions]
+        return [self.events[i - self._base] for i in positions]
 
     def count_of_kind(self, kind: str) -> int:
-        return len(self._by_kind.get(kind, ()))
+        return len(self._live(kind))
 
     def at_node(self, node: str) -> list[TraceEvent]:
         return [e for e in self.events if e.node == node]
@@ -114,10 +142,10 @@ class Trace:
         return [e for e in self.events if start <= e.time <= end]
 
     def last(self, kind: str) -> Optional[TraceEvent]:
-        positions = self._by_kind.get(kind)
+        positions = self._live(kind)
         if not positions:
             return None
-        return self.events[positions[-1]]
+        return self.events[positions[-1] - self._base]
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)

@@ -225,6 +225,19 @@ def aggregate_serve(shard_docs: list[dict]) -> dict:
     throughputs = [
         float(d["results"].get("throughput_per_s", 0.0)) for d in ordered
     ]
+    # Fleet-merged critical-path attribution (causal-traced runs):
+    # nearest-rank percentiles recomputed over the concatenated
+    # per-request rows, so the summary is worker-count independent and
+    # resumes cleanly from the shard cache, exactly like profiles.
+    attribution_rows: list[dict] = []
+    for doc in ordered:
+        att = doc["results"].get("attribution") or {}
+        attribution_rows.extend(att.get("rows") or [])
+    attribution = None
+    if attribution_rows:
+        from repro.obs.causal import summarize_attribution
+
+        attribution = summarize_attribution(attribution_rows)
     return {
         "runs": len(ordered),
         "deterministic": all(len(sigs) <= 1 for sigs in by_seed.values()),
@@ -248,6 +261,7 @@ def aggregate_serve(shard_docs: list[dict]) -> dict:
         "mean_throughput_per_s": (
             sum(throughputs) / len(throughputs) if throughputs else 0.0
         ),
+        "attribution": attribution,
     }
 
 

@@ -62,6 +62,11 @@ def run_shard_payload(payload: dict) -> dict:
     # results subtree: ``results`` must stay deterministic.
     wall: dict[str, Any] = dict(results.pop("_wall", {}))
     wall.update(duration_s=duration, pid=os.getpid())
+    # Full causal DAGs (serve runs with causal tracing) ride the shard
+    # document outside ``results``: deterministic but bulky, they are
+    # written to a sidecar file rather than hashed into the aggregate
+    # signature (the compact ``attribution`` stays inside results).
+    causal = results.pop("_causal", None)
     doc: dict[str, Any] = {
         "shard_id": payload["shard_id"],
         "index": payload["index"],
@@ -70,6 +75,8 @@ def run_shard_payload(payload: dict) -> dict:
         "results": _json_safe(results),
         "wall": _json_safe(wall),
     }
+    if causal is not None:
+        doc["causal"] = _json_safe(causal)
     if obs is not None:
         captured = obs.snapshot()
         doc["metrics"] = _json_safe(captured.get("metrics", {}))

@@ -1,0 +1,226 @@
+"""Unit tests for per-request causal tracing (repro.obs.causal)."""
+
+import gzip
+import io
+import json
+import math
+
+from repro.obs.causal import (
+    SEGMENTS,
+    CausalTracker,
+    critical_path,
+    iter_causal_jsonl,
+    nearest_rank,
+    perfetto_trace,
+    summarize_attribution,
+    write_causal_jsonl,
+)
+
+
+def _sum_invariant(row):
+    return abs(sum(row["segments"].values()) - row["e2e_ms"])
+
+
+def happy_path_tracker() -> CausalTracker:
+    """submit -> admit -> dispatch -> push -> verify -> done."""
+    tracker = CausalTracker()
+    tracker.submit(0, 7, 10.0)
+    tracker.mark(0, 12.0, "admitted", "orchestrator", queue_depth=1)
+    tracker.mark(0, 15.0, "dispatched", "orchestrator", state="prepare")
+    tracker.bind_flow(7, 0)
+    tracker.pushed(0, 20.0, "controller", version=2)
+    tracker.flow_event(7, 24.0, "rule_change", "s1", flow=7)
+    tracker.flow_event(7, 27.0, "verify_ok", "s2", flow=7)
+    tracker.flow_event(7, 30.0, "update_done", "controller", flow=7)
+    tracker.unbind_flow(7)
+    tracker.finish(0, 30.0, "completed")
+    return tracker
+
+
+def test_segments_schema_is_fixed():
+    assert SEGMENTS == (
+        "queue_wait", "conflict_wait", "prepare", "control_rtt",
+        "retry_backoff", "dataplane_verify", "recovery",
+    )
+
+
+def test_happy_path_attribution():
+    [row] = happy_path_tracker().attribution_rows()
+    assert row["request_id"] == 0
+    assert row["flow_id"] == 7
+    assert row["outcome"] == "completed"
+    assert row["e2e_ms"] == 20.0
+    assert row["segments"]["queue_wait"] == 5.0       # 10 -> 15
+    assert row["segments"]["prepare"] == 5.0          # 15 -> 20
+    assert row["segments"]["control_rtt"] == 7.0      # 20->24 rtt, 27->30 ufm
+    assert row["segments"]["dataplane_verify"] == 3.0  # 24 -> 27
+    assert _sum_invariant(row) == 0.0
+
+
+def test_wait_reclassification_splits_queue_and_conflict():
+    tracker = CausalTracker()
+    tracker.submit(0, 7, 0.0)
+    tracker.set_state(0, 4.0, "conflict_wait")   # blocked behind a conflict
+    tracker.set_state(0, 9.0, "queue_wait")      # conflict cleared, tokens dry
+    tracker.mark(0, 10.0, "dispatched", "orchestrator", state="prepare")
+    tracker.finish(0, 10.0, "completed")
+    [row] = tracker.attribution_rows()
+    assert row["segments"]["queue_wait"] == 5.0      # 0-4 + 9-10
+    assert row["segments"]["conflict_wait"] == 5.0   # 4-9
+    assert _sum_invariant(row) == 0.0
+
+
+def test_set_state_noop_on_same_state_records_no_edge():
+    tracker = CausalTracker()
+    tracker.submit(0, 7, 0.0)
+    tracker.set_state(0, 4.0, "queue_wait")
+    [dag] = tracker.dags()
+    assert len(dag["events"]) == 1          # only "submitted"
+
+
+def test_retry_closes_gap_as_retry_backoff():
+    tracker = CausalTracker()
+    tracker.submit(0, 7, 0.0)
+    tracker.bind_flow(7, 0)
+    tracker.pushed(0, 5.0, "controller", version=1)
+    tracker.retry(7, 85.0, "retransmit", "controller", attempt=2)
+    tracker.flow_event(7, 90.0, "update_done", "controller")
+    tracker.finish(0, 90.0, "completed")
+    [row] = tracker.attribution_rows()
+    assert row["segments"]["queue_wait"] == 5.0      # submit -> push
+    assert row["segments"]["retry_backoff"] == 80.0  # push -> retransmit
+    assert row["segments"]["control_rtt"] == 5.0     # resend travel + ufm
+    assert _sum_invariant(row) == 0.0
+
+
+def test_pre_push_flow_events_are_ignored():
+    tracker = CausalTracker()
+    tracker.submit(0, 7, 0.0)
+    tracker.bind_flow(7, 0)
+    tracker.flow_event(7, 2.0, "rule_change", "s1")   # recovery write, not ours
+    tracker.retry(7, 3.0, "retransmit", "controller")
+    [dag] = tracker.dags()
+    assert [e["kind"] for e in dag["events"]] == ["submitted"]
+
+
+def test_unbound_flow_events_are_ignored():
+    tracker = CausalTracker()
+    tracker.submit(0, 7, 0.0)
+    tracker.flow_event(99, 2.0, "rule_change", "s1")
+    tracker.retry(99, 3.0, "retransmit", "controller")
+    [dag] = tracker.dags()
+    assert len(dag["events"]) == 1
+
+
+def test_abort_tail_lands_in_recovery():
+    tracker = CausalTracker()
+    tracker.submit(0, 7, 0.0)
+    tracker.bind_flow(7, 0)
+    tracker.pushed(0, 5.0, "controller", version=1)
+    tracker.flow_event(7, 8.0, "update_aborted", "controller")
+    tracker.finish(0, 12.0, "aborted")
+    [row] = tracker.attribution_rows()
+    assert row["outcome"] == "aborted"
+    assert row["segments"]["queue_wait"] == 5.0      # submit -> push
+    assert row["segments"]["control_rtt"] == 3.0     # push -> abort in flight
+    assert row["segments"]["recovery"] == 4.0        # abort -> done
+    assert _sum_invariant(row) == 0.0
+
+
+def test_events_after_finish_are_dropped():
+    tracker = happy_path_tracker()
+    tracker.mark(0, 99.0, "late", "orchestrator")
+    tracker.set_state(0, 99.0, "recovery")
+    tracker.finish(0, 99.0, "aborted")
+    [row] = tracker.attribution_rows()
+    assert row["outcome"] == "completed"
+    assert row["e2e_ms"] == 20.0
+
+
+def test_sum_invariant_under_awkward_floats():
+    """Fraction accumulation keeps the telescoping exact even for
+    timestamps with no short binary representation."""
+    tracker = CausalTracker()
+    t = 0.1
+    tracker.submit(0, 7, t)
+    for i in range(500):
+        t += 0.1 * (i % 7 + 1) / 3.0
+        tracker.mark(0, t, "step", "n", state=SEGMENTS[i % len(SEGMENTS)])
+    tracker.finish(0, t + 1e-7, "completed")
+    [row] = tracker.attribution_rows()
+    assert _sum_invariant(row) <= 1e-9
+
+
+def test_critical_path_covers_end_to_end():
+    [dag] = happy_path_tracker().dags()
+    report = critical_path(dag)
+    assert report["steps"][0]["from"] == "submitted"
+    assert report["steps"][-1]["to"] == "done"
+    # Steps chain with no gaps, so their durations telescope to e2e.
+    assert math.isclose(
+        sum(s["dur_ms"] for s in report["steps"]), dag["e2e_ms"]
+    )
+    for a, b in zip(report["steps"], report["steps"][1:]):
+        assert a["t1"] == b["t0"]
+    assert report["segment_totals"]["dataplane_verify"] == 3.0
+
+
+def test_nearest_rank():
+    values = [float(v) for v in range(1, 101)]
+    assert nearest_rank(values, 50) == 50.0
+    assert nearest_rank(values, 90) == 90.0
+    assert nearest_rank(values, 99) == 99.0
+    assert nearest_rank([5.0], 99) == 5.0
+    assert nearest_rank([], 50) is None
+
+
+def test_summarize_attribution():
+    rows = happy_path_tracker().attribution_rows()
+    summary = summarize_attribution(rows)
+    assert summary["requests"] == 1
+    assert summary["e2e_ms"]["p50"] == 20.0
+    assert summary["segments"]["prepare"]["total"] == 5.0
+    assert set(summary["segments"]) == set(SEGMENTS)
+    assert summary["residual_max_ms"] <= 1e-9
+
+
+def test_summarize_attribution_empty():
+    summary = summarize_attribution([])
+    assert summary["requests"] == 0
+    assert summary["e2e_ms"]["p50"] is None
+    assert summary["residual_max_ms"] == 0.0
+
+
+def test_perfetto_trace_structure():
+    dags = happy_path_tracker().dags()
+    doc = perfetto_trace(dags)
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    slices = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    meta = [e for e in events if e["ph"] == "M"]
+    # Zero-duration edges are skipped; all others become slices.
+    positive = [e for e in dags[0]["edges"] if e["dur_ms"] > 0.0]
+    assert len(slices) == len(positive)
+    assert len(instants) == len(dags[0]["events"])
+    assert any(m["name"] == "thread_name" for m in meta)
+    # Simulated ms -> trace microseconds.
+    assert slices[0]["ts"] == dags[0]["events"][0]["t"] * 1000.0
+    assert json.dumps(doc)  # strictly JSON-serializable
+
+
+def test_causal_jsonl_round_trip():
+    dags = happy_path_tracker().dags()
+    buffer = io.StringIO()
+    assert write_causal_jsonl(dags, buffer) == 1
+    buffer.seek(0)
+    assert list(iter_causal_jsonl(buffer)) == dags
+
+
+def test_causal_jsonl_gzip_round_trip(tmp_path):
+    dags = happy_path_tracker().dags()
+    path = str(tmp_path / "trace.causal.jsonl.gz")
+    assert write_causal_jsonl(dags, path) == 1
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        assert json.loads(handle.readline())["request_id"] == 0
+    assert list(iter_causal_jsonl(path)) == dags

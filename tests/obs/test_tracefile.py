@@ -105,3 +105,34 @@ def test_summarize_empty():
     report = summarize_events([])
     assert report["events"] == 0
     assert report["span_ms"] is None
+
+
+# -- gzip transparency and streaming ------------------------------------------
+
+
+def test_gzip_round_trip(tmp_path):
+    import gzip
+
+    trace = sample_trace()
+    path = tmp_path / "trace.jsonl.gz"
+    count = export_trace_jsonl(trace, str(path))
+    assert count == 4
+    # Really gzipped on disk.
+    with gzip.open(str(path), "rt", encoding="utf-8") as handle:
+        assert handle.readline().startswith("{")
+    events = list(iter_trace_jsonl(str(path)))
+    assert [e.time for e in events] == [e.time for e in trace]
+    rebuilt = import_trace_jsonl(str(path))
+    assert len(rebuilt) == 4
+
+
+def test_iter_filter_events_is_lazy_and_matches_filter_events():
+    from repro.obs.tracefile import iter_filter_events
+
+    events = sample_trace().events
+    lazy = iter_filter_events(events, kinds=["msg_send", "msg_recv"])
+    assert iter(lazy) is lazy          # generator, not a list
+    assert list(lazy) == filter_events(events, kinds=["msg_send", "msg_recv"])
+    assert list(
+        iter_filter_events(events, nodes=["v1"], t0=1.0, t1=2.0)
+    ) == filter_events(events, nodes=["v1"], t0=1.0, t1=2.0)

@@ -1,0 +1,195 @@
+"""Service-level acceptance for per-request causal tracing.
+
+The ISSUE-level contracts live here:
+
+* every terminal request's segment durations sum to its end-to-end
+  latency within 1e-9 ms;
+* enabling causal tracing leaves the simulated run bit-identical —
+  trace signature AND result signature match a causal=False run;
+* attribution is worker-count independent: a 2-worker sweep produces
+  byte-identical rows, summaries and DAGs to the serial run;
+* chaos (link flap + update watchdog) populates the retry_backoff and
+  recovery segments, and the queue-depth gauge cross-check holds.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.causal import SEGMENTS
+from repro.serve.service import run_service
+from repro.serve.spec import ServeSpec
+from repro.sweep.executor import run_sweep
+from repro.sweep.spec import load_sweep_spec
+
+#: The serve-smoke workload (mirrors examples/serve_smoke.json): a
+#: mid-run link flap forces watchdog retriggers and recovery requeues.
+SMOKE = dict(
+    name="causal-smoke",
+    topology="b4",
+    seed=0,
+    mode="open",
+    flows=8,
+    requests=60,
+    arrival_rate_per_s=400.0,
+    queue_depth=16,
+    shed_policy="park",
+    conflict_policy="serialize",
+    horizon_ms=300000.0,
+    params={"controller_update_timeout_ms": 2000.0},
+    events=(
+        {"time_ms": 40.0, "kind": "link_down",
+         "node_a": "dalles-or", "node_b": "council-ia"},
+        {"time_ms": 400.0, "kind": "link_up",
+         "node_a": "dalles-or", "node_b": "council-ia"},
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return run_service(ServeSpec(**SMOKE, causal=True))
+
+
+@pytest.fixture(scope="module")
+def untraced():
+    return run_service(ServeSpec(**SMOKE))
+
+
+def test_every_request_has_an_attribution_row(traced):
+    rows = traced.attribution["rows"]
+    assert len(rows) == len(traced.records) == 60
+    assert [r["request_id"] for r in rows] == sorted(
+        rec["request_id"] for rec in traced.records
+    )
+
+
+def test_segments_sum_to_end_to_end(traced):
+    for row in traced.attribution["rows"]:
+        residual = abs(sum(row["segments"].values()) - row["e2e_ms"])
+        assert residual <= 1e-9, (row["request_id"], residual)
+        assert set(row["segments"]) == set(SEGMENTS)
+    assert traced.attribution["summary"]["residual_max_ms"] <= 1e-9
+
+
+def test_e2e_matches_request_records(traced):
+    by_id = {rec["request_id"]: rec for rec in traced.records}
+    for row in traced.attribution["rows"]:
+        rec = by_id[row["request_id"]]
+        assert row["outcome"] == rec["outcome"]
+        assert row["e2e_ms"] == pytest.approx(
+            rec["completed_ms"] - rec["submitted_ms"], abs=1e-9
+        )
+
+
+def test_causal_run_is_bit_identical_to_untraced(traced, untraced):
+    on, off = traced.to_results(), untraced.to_results()
+    assert on["trace_signature"] == off["trace_signature"]
+    assert traced.signature() == untraced.signature()
+    assert on["records"] == off["records"]
+
+
+def test_chaos_populates_retry_and_recovery():
+    # Seed 1 of this workload exercises the §11 watchdog: at least one
+    # request must spend time waiting out a retrigger and in recovery.
+    result = run_service(ServeSpec(**{**SMOKE, "seed": 1}, causal=True))
+    totals = {s: 0.0 for s in SEGMENTS}
+    for row in result.attribution["rows"]:
+        for segment, value in row["segments"].items():
+            totals[segment] += value
+    assert totals["retry_backoff"] > 0.0
+    assert totals["recovery"] > 0.0
+    assert totals["dataplane_verify"] > 0.0
+
+
+def test_queue_depth_at_admit_recorded(traced):
+    depths = [
+        rec["queue_depth_at_admit"]
+        for rec in traced.records
+        if rec["admitted_ms"] is not None
+    ]
+    assert depths and all(isinstance(d, int) and d >= 0 for d in depths)
+    # The spec caps the queue: the recorded depth can never exceed it.
+    assert max(depths) <= SMOKE["queue_depth"]
+
+
+def test_queue_depth_cross_checks_gauge_and_causal_event():
+    from repro.obs import make_obs
+
+    obs = make_obs()
+    result = run_service(ServeSpec(**SMOKE, causal=True), obs=obs)
+    # The causal "admitted" event carries the same depth the record
+    # stores — one fact, two observation paths.
+    by_id = {rec["request_id"]: rec for rec in result.records}
+    admitted = 0
+    for dag in result.causal:
+        for event in dag["events"]:
+            if event["kind"] == "admitted":
+                rec = by_id[dag["request_id"]]
+                assert event["queue_depth"] == rec["queue_depth_at_admit"]
+                admitted += 1
+    assert admitted > 0
+    # The serve_queue_depth gauge exists and has fully drained by the
+    # end of the run (every request reached a terminal outcome).
+    assert obs.metrics.value("serve_queue_depth") == 0.0
+
+
+def test_dags_cover_all_requests(traced):
+    dags = traced.causal
+    assert len(dags) == 60
+    for dag in dags:
+        assert dag["events"][0]["kind"] == "submitted"
+        assert dag["events"][-1]["kind"] == "done"
+        assert len(dag["edges"]) == len(dag["events"]) - 1
+        # Edges tile the lifetime: telescoping sum equals e2e.
+        assert sum(e["dur_ms"] for e in dag["edges"]) == pytest.approx(
+            dag["e2e_ms"], abs=1e-9
+        )
+
+
+def _sweep(workers: int):
+    sweep = load_sweep_spec(
+        {
+            "name": "causal-sweep",
+            "kind": "serve",
+            "seed": 0,
+            "seeds": 2,
+            "serve": ServeSpec(**SMOKE, causal=True).to_dict(),
+        }
+    )
+    run = run_sweep(sweep, workers=workers, cache_dir=None, resume=False)
+    assert run.ok
+    dags = []
+    rows = []
+    for doc in sorted(run.shard_docs, key=lambda d: int(d["index"])):
+        dags.extend(doc.pop("causal"))
+        rows.extend(doc["results"]["attribution"]["rows"])
+    return run, dags, rows
+
+
+def test_attribution_identical_across_worker_counts():
+    run1, dags1, rows1 = _sweep(workers=1)
+    run2, dags2, rows2 = _sweep(workers=2)
+    assert json.dumps(rows1, sort_keys=True) == json.dumps(rows2, sort_keys=True)
+    assert json.dumps(dags1, sort_keys=True) == json.dumps(dags2, sort_keys=True)
+    for d1, d2 in zip(run1.shard_docs, run2.shard_docs):
+        assert d1["results"] == d2["results"]
+
+
+def test_trace_max_events_bounds_retention_and_reports_drops():
+    spec = ServeSpec(
+        **{
+            **SMOKE,
+            "params": {**SMOKE["params"], "trace_max_events": 50},
+        },
+        causal=True,
+    )
+    bounded = run_service(spec)
+    results = bounded.to_results()
+    assert results["trace_dropped_events"] > 0
+    # Retention is an observer concern: the run's outcome records and
+    # the attribution are identical to the unbounded run.
+    unbounded = run_service(ServeSpec(**SMOKE, causal=True))
+    assert results["records"] == unbounded.to_results()["records"]
+    assert bounded.attribution["rows"] == unbounded.attribution["rows"]
+    assert unbounded.to_results()["trace_dropped_events"] == 0

@@ -161,6 +161,8 @@ def test_serve_cli_run_writes_manifest(tmp_path, capsys):
         cache_dir=str(tmp_path / "cache"),
         out_dir=str(tmp_path),
         obs=False,
+        causal=True,
+        causal_out=None,
     )
     rc = cmd_serve(args)
     out = capsys.readouterr().out
@@ -171,6 +173,10 @@ def test_serve_cli_run_writes_manifest(tmp_path, capsys):
     doc = json.loads(manifest.read_text())
     assert doc["results"]["aggregates"]["consistent"] is True
     assert doc["results"]["signature"]
+    # --causal leaves the signature untouched and writes the sidecar.
+    sidecar = tmp_path / "TRACE_serve_serve-det.causal.jsonl.gz"
+    assert sidecar.exists()
+    assert doc["results"]["aggregates"]["attribution"]["requests"] > 0
 
 
 def test_serve_cli_validate(tmp_path, capsys):

@@ -112,3 +112,56 @@ def test_events_are_immutable():
     event = TraceEvent(1.0, "k", "n", {})
     with pytest.raises(AttributeError):
         event.time = 2.0
+
+
+# -- bounded retention (max_events ring buffer) -------------------------------
+
+
+def test_default_trace_is_unbounded():
+    trace = Trace()
+    for i in range(1000):
+        trace.record(float(i), "k", "n")
+    assert len(trace) == 1000
+    assert trace.dropped_events == 0
+
+
+def test_ring_buffer_caps_retention_and_counts_drops():
+    trace = Trace(max_events=3)
+    for i in range(10):
+        trace.record(float(i), "k", "n")
+    assert len(trace) == 3
+    assert trace.dropped_events == 7
+    assert [e.time for e in trace.events] == [7.0, 8.0, 9.0]
+
+
+def test_ring_buffer_kind_index_stays_consistent():
+    trace = Trace(max_events=4)
+    for i in range(12):
+        trace.record(float(i), KIND_RULE_CHANGE if i % 2 else KIND_MSG_SEND, "n")
+    assert trace.of_kind(KIND_RULE_CHANGE) == [
+        e for e in trace.events if e.kind == KIND_RULE_CHANGE
+    ]
+    assert trace.count_of_kind(KIND_MSG_SEND) == sum(
+        1 for e in trace.events if e.kind == KIND_MSG_SEND
+    )
+    last = trace.last(KIND_RULE_CHANGE)
+    assert last is not None and last.time == 11.0
+    # A kind that only ever lived in the evicted prefix yields nothing.
+    trace2 = Trace(max_events=2)
+    trace2.record(0.0, "early", "n")
+    trace2.record(1.0, "late", "n")
+    trace2.record(2.0, "late", "n")
+    assert trace2.of_kind("early") == []
+    assert trace2.last("early") is None
+    assert trace2.count_of_kind("early") == 0
+
+
+def test_ring_buffer_subscribers_see_every_event():
+    trace = Trace(max_events=2)
+    seen = []
+    trace.subscribe(seen.append)
+    for i in range(5):
+        trace.record(float(i), "k", "n")
+    assert len(seen) == 5
+    assert len(trace) == 2
+    assert trace.dropped_events == 3
