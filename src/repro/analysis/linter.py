@@ -16,13 +16,19 @@ dotted names, and builds a parent map so rules can inspect enclosing
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.analysis.findings import Finding
 
 _SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_\-, ]+)\]")
+
+#: Framework-level finding kind for ignore comments that silence
+#: nothing (not a LintRule — it needs the full run's findings).
+STALE_SUPPRESSION_RULE = "stale-suppression"
 
 #: Global rule registry: name -> rule class.
 _REGISTRY: dict[str, type["LintRule"]] = {}
@@ -160,6 +166,78 @@ def suppressions(source: str) -> dict[int, set[str]]:
     return table
 
 
+def _comment_suppressions(source: str) -> dict[int, set[str]]:
+    """Like :func:`suppressions`, but only for *real* comment tokens.
+
+    The plain-text scan deliberately over-matches (a suppression in a
+    docstring still reads as documentation); staleness reporting must
+    not, or every documented example would be flagged.
+    """
+    table: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return table
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        names = {
+            part.strip()
+            for part in match.group(1).split(",")
+            if part.strip()
+        }
+        if names:
+            table.setdefault(token.start[0], set()).update(names)
+    return table
+
+
+def stale_suppressions(
+    source: str,
+    path: str,
+    raw_findings: Sequence[Finding],
+    active_names: set[str],
+) -> list[Finding]:
+    """Findings for ignore comments that silence nothing.
+
+    A suppressed rule name is judged only when it is in the *active*
+    rule set (a ``--select`` subset cannot prove other rules silent);
+    ``ignore[all]`` is judged only when every registered rule ran.
+    """
+    fired_by_line: dict[int, set[str]] = {}
+    for finding in raw_findings:
+        fired_by_line.setdefault(finding.line, set()).add(finding.rule)
+    full_run = active_names >= set(rule_names())
+    out: list[Finding] = []
+    for lineno, names in sorted(_comment_suppressions(source).items()):
+        if STALE_SUPPRESSION_RULE in names:
+            continue
+        fired = fired_by_line.get(lineno, set())
+        stale: list[str] = []
+        if "all" in names and full_run and not fired:
+            stale.append("all")
+        stale.extend(
+            name
+            for name in sorted(names - {"all"})
+            if name in active_names and name not in fired
+        )
+        out.extend(
+            Finding(
+                rule=STALE_SUPPRESSION_RULE,
+                message=(
+                    f"ignore[{name}] suppresses nothing on this line; "
+                    f"remove the stale comment"
+                ),
+                path=path,
+                line=lineno,
+            )
+            for name in stale
+        )
+    return out
+
+
 def default_rules() -> list[LintRule]:
     """Fresh instances of every registered rule."""
     _load_builtin_rules()
@@ -186,29 +264,42 @@ def lint_source(
     path: str = "<string>",
     rules: Optional[Iterable[LintRule]] = None,
     include_suppressed: bool = False,
+    check_stale: bool = True,
 ) -> list[Finding]:
-    """Run ``rules`` (default: all registered) over one module."""
+    """Run ``rules`` (default: all registered) over one module.
+
+    ``check_stale`` also reports ignore comments that silence nothing
+    (see :func:`stale_suppressions`).
+    """
     active = list(rules) if rules is not None else default_rules()
     ctx = LintContext(path, source)
     silenced = suppressions(source)
-    out: list[Finding] = []
+    raw: list[Finding] = []
     for rule in active:
-        for finding in rule.check(ctx):
-            names = silenced.get(finding.line, ())
-            if rule.name in names or "all" in names:
-                if include_suppressed:
-                    out.append(
-                        Finding(
-                            rule=finding.rule,
-                            message=finding.message,
-                            path=finding.path,
-                            line=finding.line,
-                            col=finding.col,
-                            suppressed=True,
-                        )
+        raw.extend(rule.check(ctx))
+    out: list[Finding] = []
+    for finding in raw:
+        names = silenced.get(finding.line, ())
+        if finding.rule in names or "all" in names:
+            if include_suppressed:
+                out.append(
+                    Finding(
+                        rule=finding.rule,
+                        message=finding.message,
+                        path=finding.path,
+                        line=finding.line,
+                        col=finding.col,
+                        suppressed=True,
                     )
-            else:
-                out.append(finding)
+                )
+        else:
+            out.append(finding)
+    if check_stale:
+        out.extend(
+            stale_suppressions(
+                source, path, raw, {rule.name for rule in active}
+            )
+        )
     out.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return out
 

@@ -97,6 +97,13 @@ class UpdatePlan:
     notify_edges: tuple[tuple[str, str], ...]
     dependencies: tuple[tuple[str, str], ...] = ()
     description: str = ""
+    # Footprint material (repro.analysis.interference): the path the
+    # flow leaves, the path it moves onto, and its traffic size.
+    # Empty/zero for hand-built plans that only exercise the per-plan
+    # checks — interference analysis requires them.
+    old_path: tuple[str, ...] = ()
+    new_path: tuple[str, ...] = ()
+    flow_size: float = 0.0
 
     def install_at(self, node: str) -> Optional[PlanInstall]:
         for install in self.installs:
@@ -198,6 +205,72 @@ def plan_from_prepared(
         update_type=prepared.update_type,
         installs=installs,
         notify_edges=tuple(edges),
+        old_path=tuple(prepared.old_path),
+        new_path=(
+            tuple(new_path) if new_path is not None
+            else tuple(prepared.new_path)
+        ),
+        flow_size=max((uim.flow_size for uim in uims), default=0.0),
+    )
+
+
+def plan_to_dict(plan: UpdatePlan) -> dict:
+    """JSON-safe encoding of a plan (``analyze interference`` batches)."""
+    return {
+        "flow_id": plan.flow_id,
+        "version": plan.version,
+        "prior_version": plan.prior_version,
+        "update_type": plan.update_type.name,
+        "installs": [
+            {
+                "node": i.node,
+                "version": i.version,
+                "distance": i.distance,
+                "is_flow_egress": i.is_flow_egress,
+                "is_segment_egress": i.is_segment_egress,
+                "is_ingress": i.is_ingress,
+                "is_gateway": i.is_gateway,
+            }
+            for i in plan.installs
+        ],
+        "notify_edges": [list(edge) for edge in plan.notify_edges],
+        "dependencies": [list(edge) for edge in plan.dependencies],
+        "description": plan.description,
+        "old_path": list(plan.old_path),
+        "new_path": list(plan.new_path),
+        "flow_size": plan.flow_size,
+    }
+
+
+def plan_from_dict(data: dict) -> UpdatePlan:
+    """Inverse of :func:`plan_to_dict` (validates the update type)."""
+    return UpdatePlan(
+        flow_id=int(data["flow_id"]),
+        version=int(data["version"]),
+        prior_version=int(data.get("prior_version", 0)),
+        update_type=UpdateType[str(data["update_type"])],
+        installs=tuple(
+            PlanInstall(
+                node=str(i["node"]),
+                version=int(i["version"]),
+                distance=int(i["distance"]),
+                is_flow_egress=bool(i.get("is_flow_egress", False)),
+                is_segment_egress=bool(i.get("is_segment_egress", False)),
+                is_ingress=bool(i.get("is_ingress", False)),
+                is_gateway=bool(i.get("is_gateway", False)),
+            )
+            for i in data.get("installs", ())
+        ),
+        notify_edges=tuple(
+            (str(a), str(b)) for a, b in data.get("notify_edges", ())
+        ),
+        dependencies=tuple(
+            (str(a), str(b)) for a, b in data.get("dependencies", ())
+        ),
+        description=str(data.get("description", "")),
+        old_path=tuple(str(n) for n in data.get("old_path", ())),
+        new_path=tuple(str(n) for n in data.get("new_path", ())),
+        flow_size=float(data.get("flow_size", 0.0)),
     )
 
 

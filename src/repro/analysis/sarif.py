@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 export for the static-analysis toolchain.
+
+Every ``repro analyze`` subcommand can emit its findings as a SARIF
+log (``--format sarif``), the interchange format CI code-scanning
+UIs ingest.  One run per invocation; each distinct rule id becomes a
+``reportingDescriptor`` so viewers can group/filter by rule.
+
+The output is deliberately minimal and fully deterministic: no
+timestamps, no absolute paths, no tool version beyond the repo's own
+version string — the same findings always serialize to the same
+bytes (asserted by ``tests/analysis/test_sarif.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+from repro.version import __version__
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def findings_to_sarif(
+    findings: Sequence[Finding], tool_name: str = "repro-analyze"
+) -> dict:
+    """Project findings into one SARIF run (a plain JSON-safe dict)."""
+    rules = sorted({f.rule for f in findings})
+    rule_index = {rule: i for i, rule in enumerate(rules)}
+    results = []
+    for finding in sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    ):
+        region: dict = {"startLine": max(1, finding.line)}
+        if finding.col:
+            region["startColumn"] = finding.col
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": "error",
+                "message": {"text": finding.message},
+                "suppressions": (
+                    [{"kind": "inSource"}] if finding.suppressed else []
+                ),
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": region,
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": __version__,
+                        "informationUri": (
+                            "https://example.invalid/p4update-repro"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule,
+                                "name": rule,
+                                "shortDescription": {"text": rule},
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_dumps(
+    findings: Sequence[Finding], tool_name: str = "repro-analyze"
+) -> str:
+    """Canonical SARIF text (stable key order, trailing newline)."""
+    return (
+        json.dumps(
+            findings_to_sarif(findings, tool_name=tool_name),
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )

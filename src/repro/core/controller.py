@@ -97,12 +97,21 @@ class ParkReport:
 
 @dataclass(frozen=True)
 class PreparedUpdate:
-    """Output of control-plane preparation for one flow update."""
+    """Output of control-plane preparation for one flow update.
+
+    ``old_path``/``new_path`` expose the plan's edge-level footprint
+    (which links the flow leaves, enters or keeps) to static analysis
+    — :mod:`repro.analysis.interference` builds capacity deltas and
+    the merged forwarding relation from them.  They are empty only for
+    hand-built updates that never went through :meth:`prepare_update`.
+    """
 
     flow_id: int
     version: int
     update_type: UpdateType
     uims: tuple[UIM, ...]
+    old_path: tuple[str, ...] = ()
+    new_path: tuple[str, ...] = ()
 
 
 class P4UpdateController(Node):
@@ -250,6 +259,7 @@ class P4UpdateController(Node):
         prepared = PreparedUpdate(
             flow_id=flow_id, version=version,
             update_type=update_type, uims=tuple(uims),
+            old_path=tuple(old_path), new_path=tuple(new_path),
         )
         self._prepared[(flow_id, version)] = prepared
         return prepared
@@ -387,6 +397,8 @@ class P4UpdateController(Node):
             version=prepared.version,
             update_type=prepared.update_type,
             uims=tuple(compact_uims),
+            old_path=prepared.old_path,
+            new_path=prepared.new_path,
         )
         self._prepared[(prepared.flow_id, prepared.version)] = compact
         self.push_update(compact)

@@ -25,12 +25,16 @@ the root is installed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.labeling import VersionAllocator
-from repro.core.messages import UIM, UpdateType
+from repro.core.messages import UFM, UIM, UpdateType
 from repro.core.registers import LOCAL_DELIVER_PORT
 from repro.traffic.flows import flow_hash
+
+if TYPE_CHECKING:  # import cycle: controller owns the tree manager
+    from repro.core.controller import P4UpdateController
+    from repro.harness.build import P4UpdateDeployment
 
 
 class TreeError(ValueError):
@@ -112,7 +116,7 @@ class DestinationTreeManager:
         manager.update_tree("dst", new_parent_map)
     """
 
-    def __init__(self, controller) -> None:
+    def __init__(self, controller: "P4UpdateController") -> None:
         self.controller = controller
         self.trees: dict[str, TreeRecord] = {}
         self.versions = VersionAllocator()
@@ -121,7 +125,7 @@ class DestinationTreeManager:
     # -- bootstrap -----------------------------------------------------------
 
     def install_tree(self, destination: str, parent_of: dict[str, str],
-                     size: float, deployment) -> TreeRecord:
+                     size: float, deployment: "P4UpdateDeployment") -> TreeRecord:
         """Deploy the initial tree directly (version 1)."""
         distances = validate_tree(destination, parent_of)
         tree_id = tree_id_for(destination)
@@ -196,7 +200,7 @@ class DestinationTreeManager:
 
     # -- feedback (called by the controller on tree UFMs) -----------------------------
 
-    def handle_ufm(self, ufm) -> bool:
+    def handle_ufm(self, ufm: UFM) -> bool:
         """Returns True when the UFM belonged to a tree update."""
         for record in self.trees.values():
             if record.tree_id != ufm.flow_id:

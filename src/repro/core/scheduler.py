@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.obs.context import ObsContext
 
 
 class Priority(enum.IntEnum):
@@ -63,7 +66,7 @@ class CongestionScheduler:
 
     # -- configuration ----------------------------------------------------
 
-    def attach_obs(self, obs, node: str) -> None:
+    def attach_obs(self, obs: "ObsContext", node: str) -> None:
         """Bind admit/defer counters labeled with the owning switch."""
         if not obs.enabled:
             return

@@ -31,7 +31,7 @@ from repro.core.messages import (
     UpdateType,
     make_cleanup,
 )
-from repro.p4.pipeline import Pipeline
+from repro.p4.pipeline import CpuPunt, Pipeline
 from repro.p4.switch import RuntimeAPI
 from repro.core.registers import LOCAL_DELIVER_PORT, NO_PORT
 from repro.core.verification import Decision, NodeFlowState, Verdict, apply_sl_state
@@ -481,7 +481,7 @@ class P4UpdateSwitch(P4Switch):
 
     # -- punt handling (CPU port) -----------------------------------------------------------------
 
-    def _handle_punt(self, _switch: P4Switch, punt) -> None:
+    def _handle_punt(self, _switch: P4Switch, punt: CpuPunt) -> None:
         reason: str = punt.reason
         if reason == "frm":
             header = punt.packet.header("probe")

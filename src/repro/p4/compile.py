@@ -15,7 +15,7 @@ BMv2 configs.
 from __future__ import annotations
 
 import json
-from typing import Optional
+from typing import Any, Optional, Sequence
 
 from repro.p4.packet import HeaderType
 from repro.p4.pipeline import PipelineProgram
@@ -78,7 +78,7 @@ def export_program(
     }
 
 
-def export_json(program: PipelineProgram, name: str = "program", **kwargs) -> str:
+def export_json(program: PipelineProgram, name: str = "program", **kwargs: Any) -> str:
     """The export as a canonical JSON string (stable for diffing)."""
     return json.dumps(export_program(program, name, **kwargs), indent=2, sort_keys=True)
 
@@ -115,7 +115,7 @@ def diff_configs(old: dict, new: dict) -> list[str]:
     """Human-readable differences between two exported configs."""
     changes: list[str] = []
 
-    def index(items, key):
+    def index(items: Sequence[dict], key: str) -> dict[str, dict]:
         return {item[key]: item for item in items}
 
     old_regs = index(old.get("register_arrays", []), "name")
@@ -132,8 +132,8 @@ def diff_configs(old: dict, new: dict) -> list[str]:
                 f"{new_regs[name]['size']}x{new_regs[name]['bitwidth']}b"
             )
 
-    def tables_of(config):
-        tables = {}
+    def tables_of(config: dict) -> dict[str, dict]:
+        tables: dict[str, dict] = {}
         for pipeline in config.get("pipelines", []):
             for table in pipeline.get("tables", []):
                 tables[table["name"]] = table

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.p4.packet import Packet
 from repro.p4.pipeline import Pipeline, PipelineProgram
+from repro.p4.tables import TableEntry
 from repro.params import SimParams
 from repro.sim.node import Node
 
@@ -34,7 +35,7 @@ class RuntimeAPI:
     def read_register(self, array: str, index: int) -> int:
         return self._program.registers[array].read(index)
 
-    def add_table_entry(self, table: str, entry) -> None:
+    def add_table_entry(self, table: str, entry: TableEntry) -> None:
         self._program.table(table).add(entry)
 
     def remove_table_entry(self, table: str, key: tuple) -> bool:

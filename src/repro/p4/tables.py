@@ -131,7 +131,7 @@ class Table:
                 best, best_rank = entry, rank
         return best
 
-    def _match_rank(self, entry: TableEntry, key_values: tuple):
+    def _match_rank(self, entry: TableEntry, key_values: tuple) -> Optional[tuple]:
         """None when the entry does not match; otherwise a sortable rank
         (lpm prefix length sum, then priority)."""
         prefix_total = 0

@@ -32,6 +32,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
+from repro.analysis.interference import (
+    PlanFootprint,
+    footprint_from_paths,
+    pair_conflicts,
+)
 from repro.harness.build import P4UpdateDeployment
 from repro.obs.context import NULL_OBS, ObsContext
 from repro.serve.model import (
@@ -86,6 +91,7 @@ class ServiceOrchestrator:
         deployment: P4UpdateDeployment,
         population: list[ServiceFlow],
         obs: Optional[ObsContext] = None,
+        capacities: Optional[dict[tuple[str, str], float]] = None,
     ) -> None:
         self.spec = spec
         self.deployment = deployment
@@ -109,6 +115,15 @@ class ServiceOrchestrator:
         self.in_flight: dict[int, UpdateRequest] = {}
         self._busy_switches: dict[str, int] = {}
         self.peak_in_flight = 0
+        # Static interference gate (spec.static_interference).  The
+        # gate only *reads* orchestrator/controller state — no RNG, no
+        # clock, no trace events — so a gated conflict-free run is
+        # bit-identical to a gate-off run.
+        self._gate = spec.static_interference
+        self._capacities = capacities or {}
+        self._inflight_footprints: dict[int, PlanFootprint] = {}
+        self.interference_events: list[dict] = []
+        self._gate_logged: set[int] = set()
         # Bookkeeping for results.
         self.requests: list[UpdateRequest] = []
         self._next_id = 0
@@ -233,6 +248,57 @@ class ServiceOrchestrator:
     def _footprint(self, flow_id: int) -> frozenset[str]:
         return self.flows[flow_id].nodes()
 
+    # -- static interference gate --------------------------------------------
+
+    def _candidate_footprint(self, flow_id: int) -> Optional[PlanFootprint]:
+        """The footprint the flow's next toggle would have, from the
+        controller's current view (same toggle rule as ``_execute``)."""
+        record = self.controller.flow_db.get(flow_id)
+        if record is None:
+            return None
+        flow = self.flows[flow_id]
+        if tuple(record.current_path) == flow.primary:
+            target = flow.alternate
+        else:
+            target = flow.primary
+        return footprint_from_paths(
+            flow_id, tuple(record.current_path), tuple(target), flow.size
+        )
+
+    def _gate_conflicts(self, request: UpdateRequest) -> list[dict]:
+        """Conflicts between the candidate and every in-flight update."""
+        if self._gate == "off" or not self._inflight_footprints:
+            return []
+        candidate = self._candidate_footprint(request.flow_id)
+        if candidate is None:
+            return []
+        conflicts: list[dict] = []
+        for other in self._inflight_footprints.values():
+            conflicts.extend(
+                pair_conflicts(candidate, other, self._capacities)
+            )
+        return conflicts
+
+    def _record_gate(
+        self, request: UpdateRequest, action: str, conflicts: list[dict]
+    ) -> None:
+        """Log one gate decision (first block only for held requests —
+        re-evaluations at later pumps would say the same thing)."""
+        if request.request_id in self._gate_logged:
+            return
+        self._gate_logged.add(request.request_id)
+        self.interference_events.append(
+            {
+                "time": self.engine.now,
+                "request": request.request_id,
+                "flow": request.flow_id,
+                "action": action,
+                "conflicts": conflicts,
+            }
+        )
+        if self.obs.enabled:
+            self.obs.count("serve_interference_gate", action=action)
+
     def _dispatchable(self, request: UpdateRequest) -> bool:
         flow_id = request.flow_id
         if flow_id in self.in_flight:
@@ -265,6 +331,22 @@ class ServiceOrchestrator:
             for request in list(self.pending):
                 if not self._dispatchable(request):
                     continue
+                if self._gate != "off":
+                    conflicts = self._gate_conflicts(request)
+                    if conflicts:
+                        if self._gate == "reject":
+                            self.pending.remove(request)
+                            self._record_gate(request, "reject", conflicts)
+                            self._finish(request, OUTCOME_REJECTED)
+                            progressed = True
+                            continue
+                        if self._gate == "serialize":
+                            # Hold until the conflicting in-flight
+                            # update releases its slot (pump runs on
+                            # every release).
+                            self._record_gate(request, "hold", conflicts)
+                            continue
+                        self._record_gate(request, "warn", conflicts)
                 if not self._take_token():
                     self._arm_token_wake()
                     self._causal_reclassify()
@@ -289,6 +371,8 @@ class ServiceOrchestrator:
         if self.spec.switch_conflict == "serialize":
             if any(n in self._busy_switches for n in self._footprint(flow_id)):
                 return "conflict_wait"
+        if self._gate == "serialize" and self._gate_conflicts(request):
+            return "conflict_wait"
         return "queue_wait"
 
     def _causal_reclassify(self) -> None:
@@ -310,6 +394,10 @@ class ServiceOrchestrator:
         now = self.engine.now
         request.dispatched_ms = now
         self.in_flight[request.flow_id] = request
+        if self._gate != "off":
+            footprint = self._candidate_footprint(request.flow_id)
+            if footprint is not None:
+                self._inflight_footprints[request.flow_id] = footprint
         self.peak_in_flight = max(self.peak_in_flight, len(self.in_flight))
         for node in self._footprint(request.flow_id):
             self._busy_switches[node] = self._busy_switches.get(node, 0) + 1
@@ -416,6 +504,7 @@ class ServiceOrchestrator:
     def _release(self, flow_id: int) -> None:
         if self._causal is not None:
             self._causal.unbind_flow(flow_id)
+        self._inflight_footprints.pop(flow_id, None)
         if self.in_flight.pop(flow_id, None) is None:
             return
         for node in self._footprint(flow_id):

@@ -48,6 +48,30 @@ _ARRIVAL_STREAM = 0x5EA2
 _PERCENTILES = (50, 90, 99)
 
 
+def apply_link_capacity(topo: Any, link_capacity: float) -> None:
+    """Override every link's capacity in place (0 keeps defaults).
+
+    Shared by :func:`run_service` and the static analyzer's
+    ``batch_from_serve_spec`` so both sides see the same constraints.
+    """
+    if link_capacity <= 0:
+        return
+    for a, b in topo.graph.edges:
+        topo.graph.edges[a, b]["capacity"] = float(link_capacity)
+
+
+def link_capacities(topo: Any) -> dict[tuple[str, str], float]:
+    """Directed capacity map for the admission gate (links are
+    symmetric in every repo topology, so both directions get the
+    undirected edge's capacity)."""
+    capacities: dict[tuple[str, str], float] = {}
+    for a, b in topo.graph.edges:
+        cap = float(topo.graph.edges[a, b]["capacity"])
+        capacities[(a, b)] = cap
+        capacities[(b, a)] = cap
+    return capacities
+
+
 def _percentile(values: list[float], pct: int) -> Optional[float]:
     """Nearest-rank percentile — pure python, no float surprises."""
     if not values:
@@ -85,6 +109,10 @@ class ServiceResult:
     # DAGs (lifted out of ``results`` by the sweep worker).
     attribution: Optional[dict] = None
     causal: Optional[list] = None
+    # Admission-gate decisions (spec.static_interference != "off").
+    # Omitted from results when empty so a gated-but-conflict-free run
+    # stays byte-identical to a gate-off run.
+    interference: list = field(default_factory=list)
 
     @property
     def consistent(self) -> bool:
@@ -122,6 +150,8 @@ class ServiceResult:
 
     def to_results(self) -> dict[str, Any]:
         doc = self._base_results()
+        if self.interference:
+            doc["interference"] = list(self.interference)
         if self.attribution is not None:
             doc["attribution"] = self.attribution
         if self.causal is not None:
@@ -184,10 +214,12 @@ def run_service(
         else:
             obs.causal = tracker
     topo = TOPOLOGIES[spec.topology]()
+    apply_link_capacity(topo, spec.link_capacity)
     params = SimParams(seed=spec.seed)
     if spec.params:
         params = dataclasses.replace(params, **dict(spec.params))
     deployment = build_p4update_network(topo, params=params, obs=obs)
+    deployment.set_congestion_aware(spec.congestion_aware)
     engine = deployment.network.engine
 
     flow_rng = np.random.default_rng([spec.seed, _FLOW_STREAM])
@@ -200,7 +232,10 @@ def run_service(
     checker = LiveChecker(
         deployment.forwarding_state, deployment.network.trace
     )
-    orchestrator = ServiceOrchestrator(spec, deployment, population, obs=obs)
+    orchestrator = ServiceOrchestrator(
+        spec, deployment, population, obs=obs,
+        capacities=link_capacities(topo),
+    )
 
     if spec.events:
         deployment.network.enable_chaos()
@@ -339,4 +374,5 @@ def run_service(
         trace_dropped=deployment.network.trace.dropped_events,
         attribution=attribution,
         causal=causal_dags,
+        interference=orchestrator.interference_events,
     )

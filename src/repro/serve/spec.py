@@ -45,6 +45,11 @@ SERVE_MODES = ("open", "closed")
 SHED_POLICIES = ("reject", "park")
 CONFLICT_POLICIES = ("serialize", "merge")
 SWITCH_CONFLICT_POLICIES = ("concurrent", "serialize")
+#: Admission-time static interference gate (repro.analysis.interference):
+#: ``warn`` records conflicts and dispatches anyway, ``serialize``
+#: holds a conflicting request until the in-flight update it races
+#: with completes, ``reject`` sheds it.
+INTERFERENCE_GATES = ("off", "warn", "serialize", "reject")
 
 #: SimParams fields a serve spec may override (same contract as sweep
 #: specs: scalar knobs only).
@@ -84,6 +89,18 @@ class ServeSpec:
     conflict_policy: str = "merge"     # same-flow conflicts: serialize|merge
     switch_conflict: str = "concurrent"  # shared-switch conflicts
     max_in_flight: int = 0             # concurrent updates cap (0 = no cap)
+    # Static interference gate: check each dispatch candidate's
+    # footprint against every in-flight update (off|warn|serialize|
+    # reject).  ``serialize`` injects the missing ordering instead of
+    # shedding work.
+    static_interference: str = "off"
+    # §7.4 data-plane congestion scheduler on the switches.  Off, a
+    # transient overcommit really overloads links (the live checker
+    # reports it) — the workload the interference analyzer predicts
+    # statically.
+    congestion_aware: bool = True
+    # Uniform link-capacity override (0 = keep topology defaults).
+    link_capacity: float = 0.0
     # -- run ---------------------------------------------------------------
     horizon_ms: float = 120000.0
     params: dict = field(default_factory=dict)
@@ -136,6 +153,13 @@ class ServeSpec:
             )
         if self.max_in_flight < 0:
             raise ServeSpecError("max_in_flight must be >= 0 (0 = no cap)")
+        if self.static_interference not in INTERFERENCE_GATES:
+            raise ServeSpecError(
+                f"unknown static_interference {self.static_interference!r}; "
+                f"expected one of {INTERFERENCE_GATES}"
+            )
+        if self.link_capacity < 0:
+            raise ServeSpecError("link_capacity must be >= 0 (0 = default)")
         if self.horizon_ms <= 0:
             raise ServeSpecError("serve spec needs horizon_ms > 0")
         unknown = set(self.params) - _OVERRIDABLE_PARAMS
@@ -171,6 +195,9 @@ class ServeSpec:
             "conflict_policy": self.conflict_policy,
             "switch_conflict": self.switch_conflict,
             "max_in_flight": self.max_in_flight,
+            "static_interference": self.static_interference,
+            "congestion_aware": self.congestion_aware,
+            "link_capacity": self.link_capacity,
             "horizon_ms": self.horizon_ms,
             "params": dict(self.params),
             "events": [dict(e) for e in self.events],

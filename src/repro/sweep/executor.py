@@ -297,7 +297,7 @@ def _run_serial(
                 if attempt > retries:
                     on_exhausted(shard, attempt, exc)
                     break
-                time.sleep(  # repro: ignore[wall-clock, blocking-in-service] retry backoff
+                time.sleep(  # repro: ignore[blocking-in-service] retry backoff
                     _backoff_s(spec_digest, shard.shard_id, attempt,
                                backoff_base_s)
                 )
@@ -362,7 +362,7 @@ def _run_pool(
             pool.shutdown(wait=False, cancel_futures=True)
         wave = sorted(retry_next, key=lambda s: s.index)
         if wave:
-            time.sleep(  # repro: ignore[wall-clock, blocking-in-service] retry backoff
+            time.sleep(  # repro: ignore[blocking-in-service] retry backoff
                 _backoff_s(spec_digest, wave[0].shard_id, round_no,
                            backoff_base_s)
             )

@@ -265,6 +265,38 @@ def aggregate_serve(shard_docs: list[dict]) -> dict:
     }
 
 
+def aggregate_interference(shard_docs: list[dict]) -> dict:
+    """Fleet view of static interference shards.
+
+    One shard per workload seed; ``deterministic`` holds when shards
+    of the same seed agree on the findings signature (the resume /
+    worker-count probe, same contract as serve fleets)."""
+    ordered = sorted(shard_docs, key=lambda d: int(d["index"]))
+    by_seed: dict[int, set[str]] = {}
+    by_kind: dict[str, int] = {}
+    for doc in ordered:
+        results = doc["results"]
+        by_seed.setdefault(int(doc["seed"]), set()).add(
+            str(results.get("signature"))
+        )
+        for finding in results.get("findings") or []:
+            kind = str(finding.get("kind"))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+    return {
+        "runs": len(ordered),
+        "deterministic": all(len(sigs) <= 1 for sigs in by_seed.values()),
+        "signatures_by_seed": {
+            str(seed): sorted(sigs) for seed, sigs in sorted(by_seed.items())
+        },
+        "plans": sum(int(d["results"].get("plans", 0)) for d in ordered),
+        "findings": sum(
+            len(d["results"].get("findings") or []) for d in ordered
+        ),
+        "findings_by_kind": dict(sorted(by_kind.items())),
+        "clean": all(not (d["results"].get("findings") or []) for d in ordered),
+    }
+
+
 def aggregate_prep(shard_docs: list[dict]) -> dict:
     """Per-topology Fig. 8 operation-count ratios."""
     ordered = sorted(shard_docs, key=lambda d: int(d["index"]))
@@ -310,6 +342,7 @@ def build_sweep_results(
         "chaos": aggregate_chaos,
         "serve": aggregate_serve,
         "prep": aggregate_prep,
+        "interference": aggregate_interference,
     }.get(spec.kind, aggregate_experiment)
     docs_with_keys = attach_shard_keys(spec, ordered)
     results: dict[str, Any] = {

@@ -42,7 +42,7 @@ from typing import Any, Optional
 from repro.harness.experiment import SYSTEMS
 from repro.params import SimParams
 
-SWEEP_KINDS = ("experiment", "chaos", "serve", "prep")
+SWEEP_KINDS = ("experiment", "chaos", "serve", "prep", "interference")
 
 SCENARIO_KINDS = ("single", "multi")
 
@@ -148,11 +148,15 @@ class SweepSpec:
                 raise SweepSpecError("chaos sweep needs a 'campaign' object")
             if self.runs < 1:
                 raise SweepSpecError("chaos sweep needs runs >= 1")
-        elif self.kind == "serve":
+        elif self.kind in ("serve", "interference"):
             if self.serve is None:
-                raise SweepSpecError("serve sweep needs a 'serve' object")
+                raise SweepSpecError(
+                    f"{self.kind} sweep needs a 'serve' object"
+                )
             if not self.seeds:
-                raise SweepSpecError("serve sweep has an empty seeds axis")
+                raise SweepSpecError(
+                    f"{self.kind} sweep has an empty seeds axis"
+                )
             from repro.serve.spec import ServeSpecError, load_serve_spec
 
             try:
@@ -201,7 +205,7 @@ class SweepSpec:
             )
         elif self.kind == "chaos":
             doc.update(campaign=dict(self.campaign or {}), runs=self.runs)
-        elif self.kind == "serve":
+        elif self.kind in ("serve", "interference"):
             doc.update(serve=dict(self.serve or {}), seeds=list(self.seeds))
         else:  # prep
             doc.update(
@@ -259,7 +263,11 @@ class SweepSpec:
                     "obs": self.obs,
                 }
                 shards.append(self._shard(index, key, base_seed, payload))
-        elif self.kind == "serve":
+        elif self.kind in ("serve", "interference"):
+            # "interference" shares the serve expansion (one shard per
+            # seeds entry, same derived workload seeds) so a static
+            # analysis fleet covers exactly the runs a serve fleet
+            # would execute.
             serve = dict(self.serve or {})
             topology = serve.get("topology", "b4")
             for index, seed_index in enumerate(self.seeds):
@@ -269,7 +277,7 @@ class SweepSpec:
                 }
                 seed = derive_shard_seed(self.seed, "serve", topology, seed_index)
                 payload = {
-                    "kind": "serve",
+                    "kind": self.kind,
                     "serve": serve,
                     "seed": seed,
                     "obs": self.obs,

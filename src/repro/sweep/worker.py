@@ -54,6 +54,8 @@ def run_shard_payload(payload: dict) -> dict:
         results = _run_serve_shard(payload, obs)
     elif payload["kind"] == "prep":
         results = _run_prep_shard(payload)
+    elif payload["kind"] == "interference":
+        results = _run_interference_shard(payload)
     else:
         raise ValueError(f"unknown shard kind {payload['kind']!r}")
     duration = time.perf_counter() - started  # repro: ignore[wall-clock] shard wall-time bookkeeping
@@ -171,6 +173,19 @@ def _run_serve_shard(payload: dict, obs: Optional[Any]) -> dict:
     spec = load_serve_spec(serve)
     result = run_service(spec, obs=obs)
     return result.to_results()
+
+
+def _run_interference_shard(payload: dict) -> dict:
+    from repro.analysis.interference import analyze_serve_spec
+    from repro.serve.spec import load_serve_spec
+
+    serve = dict(payload["serve"])
+    # Same seed override as serve shards: the static analysis covers
+    # exactly the seeded workload a serve shard would execute.
+    serve["seed"] = int(payload["seed"])
+    spec = load_serve_spec(serve)
+    report = analyze_serve_spec(spec)
+    return dict(report.to_dict(), signature=report.signature())
 
 
 def _run_prep_shard(payload: dict) -> dict:

@@ -1,8 +1,13 @@
 """The ``analyze`` CLI subcommands, driven through the real main()."""
 
+import json
+import os
+
 import pytest
 
 from repro.harness.cli import main
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
 
 
 def test_analyze_lint_default_paths_clean(capsys):
@@ -69,3 +74,107 @@ def test_analyze_pipeline_without_cap(capsys):
 def test_analyze_requires_subcommand():
     with pytest.raises(SystemExit):
         main(["analyze"])
+
+
+# -- structured output (--format json|sarif) ----------------------------------
+
+
+def test_analyze_lint_sarif_output(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    out_path = tmp_path / "lint.sarif"
+    rc = main([
+        "analyze", "lint", str(bad),
+        "--format", "sarif", "--out", str(out_path),
+    ])
+    assert rc == 1
+    doc = json.loads(out_path.read_text())
+    assert doc["version"] == "2.1.0"
+    (run,) = doc["runs"]
+    assert [res["ruleId"] for res in run["results"]] == ["wall-clock"]
+
+
+def test_analyze_lint_json_output(tmp_path, capsys):
+    clean = tmp_path / "ok.py"
+    clean.write_text("x = 1\n")
+    assert main(["analyze", "lint", str(clean), "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out) == []
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    assert main(["analyze", "lint", str(bad), "--format", "json"]) == 1
+
+
+def test_analyze_plan_sarif_output(tmp_path):
+    out_path = tmp_path / "plan.sarif"
+    rc = main([
+        "analyze", "plan", "--quick",
+        "--format", "sarif", "--out", str(out_path),
+    ])
+    assert rc == 0
+    doc = json.loads(out_path.read_text())
+    # The committed plan suite is clean: a valid, empty SARIF run
+    # (adversarial plans that are *correctly* rejected are not
+    # findings — only verifier misses would be).
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"] == []
+
+
+def test_analyze_interference_smoke_example_clean(capsys):
+    spec = os.path.join(EXAMPLES, "serve_smoke.json")
+    assert main(["analyze", "interference", spec]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+    assert "signature" in out
+
+
+def test_analyze_interference_conflict_example_json(tmp_path):
+    spec = os.path.join(EXAMPLES, "serve_conflict.json")
+    out_path = tmp_path / "report.json"
+    rc = main([
+        "analyze", "interference", spec,
+        "--format", "json", "--out", str(out_path),
+    ])
+    assert rc == 1
+    doc = json.loads(out_path.read_text())
+    assert [f["kind"] for f in doc["findings"]] == ["link-overcommit"]
+    with open(os.path.join(EXAMPLES, "serve_conflict.signature")) as fh:
+        assert doc["signature"] == fh.read().strip()
+
+
+def test_analyze_interference_expect_signature(capsys):
+    spec = os.path.join(EXAMPLES, "serve_conflict.json")
+    with open(os.path.join(EXAMPLES, "serve_conflict.signature")) as fh:
+        expected = fh.read().strip()
+    assert main([
+        "analyze", "interference", spec, "--expect-signature", expected,
+    ]) == 0
+    assert main([
+        "analyze", "interference", spec, "--expect-signature", "0" * 64,
+    ]) == 1
+
+
+def test_analyze_interference_plans_dir(tmp_path, capsys):
+    from repro.analysis.advgen import plan_from_paths
+    from repro.analysis.plan import plan_to_dict
+
+    plans_dir = tmp_path / "plans"
+    plans_dir.mkdir()
+    plans = [
+        plan_from_paths(3, ("a", "b", "c"), ("a", "d", "c"), version=2),
+        plan_from_paths(3, ("a", "d", "c"), ("a", "e", "c"), version=3),
+    ]
+    for index, plan in enumerate(plans):
+        (plans_dir / f"plan{index}.json").write_text(
+            json.dumps(plan_to_dict(plan))
+        )
+    rc = main(["analyze", "interference", str(plans_dir)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "version-slot-race" in out
+    # Same-flow serialization (the orchestrator's structural rule)
+    # silences the race.
+    rc = main([
+        "analyze", "interference", str(plans_dir),
+        "--serialize-same-flow",
+    ])
+    assert rc == 0

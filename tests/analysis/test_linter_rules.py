@@ -364,3 +364,74 @@ def test_repo_sim_core_obs_p4_lint_clean():
 
     findings = lint_paths(default_lint_paths(), default_rules())
     assert findings == [], "\n".join(f.format() for f in findings)
+
+
+# -- stale suppressions -------------------------------------------------------
+
+
+def test_stale_suppression_reported_as_own_finding_kind():
+    findings = lint("""
+        x = 1  # repro: ignore[wall-clock] nothing to silence here
+    """)
+    assert [f.rule for f in findings] == ["stale-suppression"]
+    assert "ignore[wall-clock]" in findings[0].message
+
+
+def test_live_suppression_not_stale():
+    findings = lint("""
+        import time
+        t = time.time()  # repro: ignore[wall-clock]
+    """)
+    assert findings == []
+
+
+def test_mixed_live_and_stale_names_on_one_line():
+    findings = lint("""
+        import time
+        t = time.time()  # repro: ignore[wall-clock, set-iteration]
+    """)
+    assert [f.rule for f in findings] == ["stale-suppression"]
+    assert "ignore[set-iteration]" in findings[0].message
+
+
+def test_stale_ignore_all_flagged_only_on_full_runs():
+    code = """
+        x = 1  # repro: ignore[all]
+    """
+    assert [f.rule for f in lint(code)] == ["stale-suppression"]
+    # A --select subset cannot prove the other rules silent.
+    subset = [r for r in default_rules() if r.name == "wall-clock"]
+    assert lint(code, rules=subset) == []
+
+
+def test_subset_run_does_not_judge_unselected_rules():
+    subset = [r for r in default_rules() if r.name == "wall-clock"]
+    findings = lint(
+        """
+        x = 1  # repro: ignore[set-iteration]
+        """,
+        rules=subset,
+    )
+    assert findings == []
+
+
+def test_docstring_suppression_examples_not_stale():
+    findings = lint('''
+        def helper():
+            """Suppress like::
+
+                t = time.time()  # repro: ignore[wall-clock] profiler
+            """
+            return 1
+    ''')
+    assert findings == []
+
+
+def test_check_stale_opt_out():
+    findings = lint(
+        """
+        x = 1  # repro: ignore[wall-clock]
+        """,
+        check_stale=False,
+    )
+    assert findings == []

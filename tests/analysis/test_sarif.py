@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 export: structure, ordering, byte-level determinism."""
+
+from repro.analysis.findings import Finding
+from repro.analysis.sarif import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    findings_to_sarif,
+    sarif_dumps,
+)
+
+
+def sample_findings():
+    return [
+        Finding(rule="wall-clock", message="time.time() call",
+                path="b.py", line=4, col=8),
+        Finding(rule="set-iteration", message="iterating a set",
+                path="a.py", line=9, col=0),
+        Finding(rule="wall-clock", message="suppressed call",
+                path="a.py", line=2, col=4, suppressed=True),
+    ]
+
+
+def test_sarif_document_shape():
+    doc = findings_to_sarif(sample_findings())
+    assert doc["$schema"] == SARIF_SCHEMA
+    assert doc["version"] == SARIF_VERSION
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-analyze"
+    assert [r["id"] for r in driver["rules"]] == [
+        "set-iteration", "wall-clock",
+    ]
+    assert len(run["results"]) == 3
+
+
+def test_sarif_results_sorted_and_indexed():
+    doc = findings_to_sarif(sample_findings())
+    (run,) = doc["runs"]
+    rules = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    locations = [
+        (
+            res["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+            res["locations"][0]["physicalLocation"]["region"]["startLine"],
+        )
+        for res in run["results"]
+    ]
+    assert locations == sorted(locations)
+    for res in run["results"]:
+        assert rules[res["ruleIndex"]] == res["ruleId"]
+
+
+def test_sarif_suppressions_marked_in_source():
+    doc = findings_to_sarif(sample_findings())
+    (run,) = doc["runs"]
+    suppressed = [
+        res for res in run["results"] if res["suppressions"]
+    ]
+    assert len(suppressed) == 1
+    assert suppressed[0]["suppressions"] == [{"kind": "inSource"}]
+    assert suppressed[0]["message"]["text"] == "suppressed call"
+
+
+def test_sarif_zero_line_clamped_and_col_omitted():
+    doc = findings_to_sarif(
+        [Finding(rule="r", message="m", path="p.py", line=0, col=0)]
+    )
+    region = doc["runs"][0]["results"][0]["locations"][0][
+        "physicalLocation"
+    ]["region"]
+    assert region == {"startLine": 1}
+
+
+def test_sarif_dumps_byte_identical_across_input_order():
+    findings = sample_findings()
+    assert sarif_dumps(findings) == sarif_dumps(list(reversed(findings)))
+    assert sarif_dumps(findings).endswith("\n")
+
+
+def test_sarif_empty_findings():
+    doc = findings_to_sarif([])
+    (run,) = doc["runs"]
+    assert run["results"] == []
+    assert run["tool"]["driver"]["rules"] == []
