@@ -20,7 +20,12 @@ simulated time; same seed -> same trace):
 * ``blocking-in-service`` — real-thread blocking (``time.sleep``,
   timed ``Queue.get``/``join``/``acquire``/``wait``) inside service
   code stalls the host instead of the simulated clock; all waiting
-  must be expressed as engine events.
+  must be expressed as engine events;
+* ``fuzz-nondeterminism`` — the fuzzer's own reproducibility contract
+  (fixed seed + budget -> byte-identical campaign): wall-clock reads,
+  unseeded RNG and set-iteration inside :mod:`repro.fuzz` are all
+  re-reported under one name, so the fuzz package can be held to a
+  stricter bar than the rest of the tree without new suppressions.
 """
 
 from __future__ import annotations
@@ -225,6 +230,35 @@ class BlockingInServiceRule(LintRule):
                     ctx, node,
                     f".{func.attr}(timeout=...) waits on the real clock; "
                     f"model the wait as a simulated-time event",
+                )
+
+
+@register_rule
+class FuzzNondeterminismRule(LintRule):
+    name = "fuzz-nondeterminism"
+    description = (
+        "nondeterminism source inside repro.fuzz; campaigns must be "
+        "byte-identical for a fixed (seed, budget)"
+    )
+
+    #: The sub-rules whose findings break fuzz reproducibility.
+    _SUB_RULES = (WallClockRule, UnseededRandomRule, SetIterationRule)
+
+    def _applies(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return "repro/fuzz" in normalized
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not self._applies(ctx.path):
+            return
+        for sub_rule in self._SUB_RULES:
+            for found in sub_rule().check(ctx):
+                yield Finding(
+                    rule=self.name,
+                    message=f"[{sub_rule.name}] {found.message}",
+                    path=found.path,
+                    line=found.line,
+                    col=found.col,
                 )
 
 

@@ -1,0 +1,76 @@
+"""repro.fuzz — coverage-guided scenario fuzzing with shrinking.
+
+Seeded generators (:mod:`repro.fuzz.gen`) produce random topologies,
+update plans, serve specs and fault campaigns; oracles
+(:mod:`repro.fuzz.oracles`) classify each case as pass / violation /
+divergence / crash against the static verifier, short simulations and
+cross-system checks; coverage signals (:mod:`repro.fuzz.coverage`)
+drive corpus retention; failing cases are delta-debugged to minimal
+repros (:mod:`repro.fuzz.shrink`) and committed as self-contained JSON
+documents (:mod:`repro.fuzz.corpus`) replayed forever by pytest.
+Campaigns (:mod:`repro.fuzz.campaign`) shard through the sweep fleet.
+"""
+
+from repro.fuzz.campaign import (
+    CrashRecord,
+    FuzzCampaignResult,
+    FuzzSpec,
+    FuzzSpecError,
+    load_fuzz_spec,
+    load_fuzz_spec_file,
+    run_fuzz_campaign,
+    run_fuzz_shard,
+    split_budget,
+    write_fuzz_manifest,
+)
+from repro.fuzz.corpus import (
+    corpus_doc,
+    corpus_files,
+    known_keys,
+    load_corpus_file,
+    replay_doc,
+    replay_file,
+    write_corpus_case,
+)
+from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.gen import FUZZ_KINDS, FuzzCase, generate_case, mutate_case
+from repro.fuzz.oracles import (
+    OUTCOMES,
+    OracleVerdict,
+    classify,
+    evaluate_case,
+    failure_key,
+)
+from repro.fuzz.shrink import shrink_case, shrink_measure
+
+__all__ = [
+    "CrashRecord",
+    "CoverageMap",
+    "FUZZ_KINDS",
+    "FuzzCampaignResult",
+    "FuzzCase",
+    "FuzzSpec",
+    "FuzzSpecError",
+    "OUTCOMES",
+    "OracleVerdict",
+    "classify",
+    "corpus_doc",
+    "corpus_files",
+    "evaluate_case",
+    "failure_key",
+    "generate_case",
+    "known_keys",
+    "load_corpus_file",
+    "load_fuzz_spec",
+    "load_fuzz_spec_file",
+    "mutate_case",
+    "replay_doc",
+    "replay_file",
+    "run_fuzz_campaign",
+    "run_fuzz_shard",
+    "shrink_case",
+    "shrink_measure",
+    "split_budget",
+    "write_corpus_case",
+    "write_fuzz_manifest",
+]

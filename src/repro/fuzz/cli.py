@@ -1,0 +1,297 @@
+"""The ``fuzz`` CLI subcommand: run / replay / shrink.
+
+* ``fuzz run [spec.json]`` — execute a campaign through the sweep
+  fleet (``--workers``, ``--resume``), write ``BENCH_fuzz_<name>.json``
+  and print the deterministic signature.  With ``--corpus DIR`` the
+  merged findings are compared against the committed corpus;
+  ``--fail-on-new`` turns a previously unseen failure key into exit 1
+  (the CI gate), ``--emit-corpus`` writes auto-shrunk repros for the
+  new keys into the corpus directory.
+* ``fuzz replay <case.json>`` — re-run one corpus case verbatim.
+  Exit 1 when the recorded failure still **reproduces**, 0 when it no
+  longer does, so a repro doubles as a bisection probe.
+* ``fuzz shrink <case.json>`` — re-shrink a corpus case (useful after
+  oracle changes made further reduction possible).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fuzz.campaign import FuzzSpec
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    handler = {
+        "run": _cmd_run,
+        "replay": _cmd_replay,
+        "shrink": _cmd_shrink,
+    }[args.fuzz_command]
+    return handler(args)
+
+
+def _build_spec(args: argparse.Namespace) -> Optional["FuzzSpec"]:
+    from repro.fuzz.campaign import (
+        FuzzSpecError,
+        load_fuzz_spec,
+        load_fuzz_spec_file,
+    )
+
+    try:
+        if args.spec:
+            spec = load_fuzz_spec_file(args.spec)
+            overrides = {}
+            if args.seed is not None:
+                overrides["seed"] = args.seed
+            if args.budget is not None:
+                overrides["budget"] = args.budget
+            if args.shards is not None:
+                overrides["shards"] = args.shards
+            if overrides:
+                spec = load_fuzz_spec(dict(spec.to_dict(), **overrides))
+            return spec
+        return load_fuzz_spec(
+            {
+                "name": args.name,
+                "seed": args.seed if args.seed is not None else 0,
+                "budget": args.budget if args.budget is not None else 32,
+                "shards": args.shards if args.shards is not None else 1,
+                **({"kinds": args.kinds.split(",")} if args.kinds else {}),
+            }
+        )
+    except (OSError, FuzzSpecError) as exc:
+        print(f"error: cannot build fuzz spec: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.fuzz.campaign import run_fuzz_campaign, write_fuzz_manifest
+    from repro.fuzz.corpus import (
+        expected_key,
+        finding_name,
+        known_keys,
+        write_corpus_case,
+    )
+
+    spec = _build_spec(args)
+    if spec is None:
+        return 1
+    if args.emit_corpus and args.no_shrink:
+        print(
+            "error: --emit-corpus needs shrinking; drop --no-shrink",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"fuzz {spec.name!r}: budget {spec.budget} across {spec.shards} "
+        f"shard(s), seed {spec.seed}, {args.workers} worker(s)"
+        + (", resuming" if args.resume else "")
+    )
+
+    result = run_fuzz_campaign(
+        spec,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        shrink_findings=False if args.no_shrink else None,
+    )
+    path = write_fuzz_manifest(result, out_dir=args.out_dir)
+    print(f"wrote {path}")
+    print(f"signature {result.signature}")
+    print(
+        f"cases {result.cases}  outcomes "
+        + " ".join(f"{k}={v}" for k, v in sorted(result.outcomes.items()))
+    )
+    print(f"coverage {len(result.coverage)} key(s)")
+    for failure in result.shard_failures:
+        print(
+            f"SHARD FAILURE {failure['shard_id']}: "
+            f"{failure['error_type']}: {failure['message']}"
+        )
+    for crash in result.crashes:
+        print(
+            f"contained crash: shard seed {crash['seed']} "
+            f"case {crash['case_index']} [{crash['stage']}] "
+            f"{crash['error_type']}: {crash['message']}"
+        )
+
+    keys = result.finding_keys()
+    known = known_keys(args.corpus) if args.corpus else set()
+    new_keys = [key for key in keys if key not in known]
+    for finding in result.findings:
+        key = tuple(str(k) for k in finding["key"])
+        marker = "NEW" if key in set(new_keys) else "known"
+        print(f"finding [{marker}] {'/'.join(key)}")
+    if not keys:
+        print("no findings")
+
+    emitted = 0
+    if args.emit_corpus:
+        if not args.corpus:
+            print("error: --emit-corpus requires --corpus", file=sys.stderr)
+            return 2
+        for doc in result.shrunk:
+            key = expected_key(doc)
+            if key in known:
+                continue
+            case_path = os.path.join(args.corpus, f"{finding_name(key)}.json")
+            write_corpus_case(case_path, doc)
+            print(f"emitted {case_path}")
+            emitted += 1
+
+    if args.json:
+        print(json.dumps(result.to_results(), indent=2, sort_keys=True))
+
+    if not result.ok:
+        return 1
+    if args.fail_on_new and new_keys:
+        print(f"FAILED: {len(new_keys)} new finding key(s) not in corpus")
+        return 1
+    print("OK")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.fuzz.corpus import replay_file
+
+    try:
+        reproduced, verdict, doc = replay_file(args.case)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    expect = doc["expect"]
+    print(f"case {doc.get('name', args.case)!r} ({doc['kind']})")
+    print(
+        f"expected {expect['outcome']}/{expect['oracle']} "
+        f"kinds={','.join(expect['kinds']) or '-'}"
+    )
+    print(
+        f"observed {verdict.outcome}/{verdict.oracle} "
+        f"kinds={','.join(verdict.kinds) or '-'}"
+    )
+    if args.json:
+        print(json.dumps(verdict.to_dict(), indent=2, sort_keys=True))
+    if reproduced:
+        print("REPRODUCED")
+        return 1
+    print("fixed (no longer reproduces)")
+    return 0
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    from repro.fuzz.corpus import (
+        case_from_doc,
+        corpus_doc,
+        load_corpus_file,
+        write_corpus_case,
+    )
+    from repro.fuzz.oracles import classify
+    from repro.fuzz.shrink import shrink_case, shrink_measure
+
+    try:
+        doc = load_corpus_file(args.case)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    case = case_from_doc(doc)
+    before = shrink_measure(case.payload)
+    minimal = shrink_case(case)
+    after = shrink_measure(minimal.payload)
+    print(f"measure {before} -> {after}")
+    if minimal is case:
+        print("already minimal (or case passes)")
+        return 0
+    out = corpus_doc(
+        minimal,
+        classify(minimal),
+        found_by=doc.get("found_by"),
+        description=doc.get("description", ""),
+    )
+    target = args.out or args.case
+    write_corpus_case(target, out)
+    print(f"wrote {target}")
+    return 0
+
+
+def add_fuzz_parser(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "fuzz", help="coverage-guided scenario fuzzing with shrinking"
+    )
+    fuzz_sub = parser.add_subparsers(dest="fuzz_command", required=True)
+
+    prun = fuzz_sub.add_parser(
+        "run", help="execute a fuzz campaign through the sweep fleet"
+    )
+    prun.add_argument(
+        "spec", nargs="?", default=None,
+        help="path to a fuzz spec JSON file (omit to use flags)",
+    )
+    prun.add_argument("--name", default="adhoc", help="campaign name")
+    prun.add_argument("--seed", type=int, default=None, help="campaign seed")
+    prun.add_argument(
+        "--budget", type=int, default=None, help="total cases across shards"
+    )
+    prun.add_argument("--shards", type=int, default=None, help="shard count")
+    prun.add_argument(
+        "--kinds", default=None,
+        help="comma-separated case kinds (plan,chaos,serve,divergence)",
+    )
+    prun.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial in-process execution, default)",
+    )
+    prun.add_argument(
+        "--cache-dir", default=None,
+        help="shard-result cache root (default .sweep_cache)",
+    )
+    prun.add_argument(
+        "--resume", action="store_true",
+        help="reuse completed shards from the on-disk cache",
+    )
+    prun.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip automatic shrinking of merged findings",
+    )
+    prun.add_argument(
+        "--out-dir", default=None,
+        help="directory for BENCH_fuzz_<name>.json (default: repo root "
+             "or $REPRO_BENCH_DIR)",
+    )
+    prun.add_argument(
+        "--corpus", default=None,
+        help="committed corpus directory to compare findings against",
+    )
+    prun.add_argument(
+        "--fail-on-new", action="store_true",
+        help="exit 1 when a finding key is not in the corpus (CI gate)",
+    )
+    prun.add_argument(
+        "--emit-corpus", action="store_true",
+        help="write shrunk repros for new finding keys into --corpus",
+    )
+    prun.add_argument(
+        "--json", action="store_true", help="also print the full results JSON"
+    )
+
+    preplay = fuzz_sub.add_parser(
+        "replay",
+        help="re-run one corpus case (exit 1 = reproduced, 0 = fixed)",
+    )
+    preplay.add_argument("case", help="path to a corpus case JSON file")
+    preplay.add_argument(
+        "--json", action="store_true", help="also print the verdict JSON"
+    )
+
+    pshrink = fuzz_sub.add_parser(
+        "shrink", help="re-shrink a corpus case in place (or to --out)"
+    )
+    pshrink.add_argument("case", help="path to a corpus case JSON file")
+    pshrink.add_argument(
+        "--out", default=None,
+        help="write the shrunk case here instead of overwriting",
+    )

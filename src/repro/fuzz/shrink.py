@@ -1,0 +1,230 @@
+"""Automatic shrinking: delta-debug a failing case to a minimal repro.
+
+Greedy, deterministic reduction: enumerate candidate simplifications
+of the current payload in a fixed order (structural drops first —
+plans, installs, notify edges, fault events, requests — then numeric
+reductions toward documented floors), accept the first candidate that
+still fails with the **same failure key** (same outcome, oracle and
+violation kinds, see :func:`repro.fuzz.oracles.failure_key`) while
+strictly decreasing the shrink measure, and repeat until no candidate
+is accepted.
+
+The measure is ``(canonical payload length, total numeric mass)``
+compared lexicographically, so:
+
+* **size is monotonically non-increasing** along the accepted-step
+  trajectory (the property tests assert this);
+* the loop terminates without an iteration cap — every accepted step
+  strictly decreases a well-founded measure (a global evaluation
+  budget still guards against pathological payloads);
+* shrinking uses **no randomness at all**, so a fixed input shrinks
+  to a byte-identical minimal case on every run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.fuzz.gen import FuzzCase, canonical_payload
+from repro.fuzz.oracles import OracleVerdict, classify, failure_key
+
+#: Hard cap on oracle evaluations per shrink (safety net only; real
+#: payloads terminate long before this).
+MAX_EVALUATIONS = 2000
+
+Classifier = Callable[[FuzzCase], OracleVerdict]
+
+
+def numeric_mass(value: Any) -> float:
+    """Sum of the magnitudes of every numeric leaf (bools excluded)."""
+    if isinstance(value, bool):
+        return 0.0
+    if isinstance(value, (int, float)):
+        return abs(float(value))
+    if isinstance(value, dict):
+        return sum(numeric_mass(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return sum(numeric_mass(v) for v in value)
+    return 0.0
+
+
+def shrink_measure(payload: dict) -> tuple[int, float]:
+    """The well-founded shrink ordering: size first, then magnitude."""
+    return (len(canonical_payload(payload)), numeric_mass(payload))
+
+
+def shrink_case(
+    case: FuzzCase,
+    classifier: Classifier = classify,
+    on_step: Optional[Callable[[FuzzCase, OracleVerdict], None]] = None,
+    max_evaluations: int = MAX_EVALUATIONS,
+) -> FuzzCase:
+    """Minimise ``case`` while preserving its failure key.
+
+    Returns the (possibly unchanged) minimal case.  A case whose
+    original classification is ``pass`` is returned untouched.
+    ``on_step`` observes every accepted intermediate (for the
+    monotonicity property tests).
+    """
+    original = classifier(case)
+    if original.outcome == "pass":
+        return case
+    target = failure_key(case.kind, original)
+
+    current = case
+    current_measure = shrink_measure(case.payload)
+    evaluations = 0
+    while evaluations < max_evaluations:
+        accepted = False
+        for payload in _candidates(current.kind, current.payload):
+            measure = shrink_measure(payload)
+            if measure >= current_measure:
+                continue
+            candidate = FuzzCase(
+                kind=current.kind,
+                name=current.name,
+                seed=current.seed,
+                payload=payload,
+            )
+            evaluations += 1
+            verdict = classifier(candidate)
+            if failure_key(candidate.kind, verdict) != target:
+                if evaluations >= max_evaluations:
+                    break
+                continue
+            current = candidate
+            current_measure = measure
+            if on_step is not None:
+                on_step(current, verdict)
+            accepted = True
+            break
+        if not accepted:
+            break
+    return current
+
+
+# -- candidate enumeration ---------------------------------------------------
+
+
+def _clone(payload: dict) -> dict:
+    import copy
+
+    return copy.deepcopy(payload)
+
+
+def _candidates(kind: str, payload: dict) -> Iterator[dict]:
+    if kind == "plan":
+        yield from _plan_candidates(payload)
+    elif kind == "chaos":
+        yield from _chaos_candidates(payload)
+    elif kind == "serve":
+        yield from _serve_candidates(payload)
+    else:
+        yield from _divergence_candidates(payload)
+
+
+def _drop_index(payload: dict, path: list[Any], index: int) -> dict:
+    out = _clone(payload)
+    node: Any = out
+    for step in path:
+        node = node[step]
+    del node[index]
+    return out
+
+
+def _set_value(payload: dict, path: list[Any], key: str, value: Any) -> dict:
+    out = _clone(payload)
+    node: Any = out
+    for step in path:
+        node = node[step]
+    node[key] = value
+    return out
+
+
+def _list_drops(payload: dict, path: list[Any], minimum: int = 0) -> Iterator[dict]:
+    node: Any = payload
+    for step in path:
+        node = node.get(step) if isinstance(node, dict) else node[step]
+        if node is None:
+            return
+    if not isinstance(node, list) or len(node) <= minimum:
+        return
+    # Last-first keeps earlier indices valid in the reader's mind when
+    # diffing successive shrink steps.
+    for index in range(len(node) - 1, -1, -1):
+        yield _drop_index(payload, path, index)
+
+
+def _halve(
+    payload: dict, path: list[Any], key: str, floor: float, integer: bool = False
+) -> Iterator[dict]:
+    node: Any = payload
+    for step in path:
+        node = node.get(step) if isinstance(node, dict) else node[step]
+        if node is None:
+            return
+    value = node.get(key)
+    if value is None:
+        return
+    current = float(value)
+    if current <= floor:
+        return
+    halved = max(floor, current / 2.0)
+    shrunk: Any = int(halved) if integer else round(halved, 1)
+    yield _set_value(payload, path, key, shrunk)
+
+
+def _plan_candidates(payload: dict) -> Iterator[dict]:
+    plans = payload.get("plans", [])
+    if len(plans) > 1:
+        yield from _list_drops(payload, ["plans"], minimum=1)
+    for i in range(len(plans)):
+        yield from _list_drops(payload, ["plans", i, "installs"], minimum=1)
+        yield from _list_drops(payload, ["plans", i, "notify_edges"])
+        yield from _list_drops(payload, ["plans", i, "dependencies"])
+        yield from _list_drops(payload, ["plans", i, "old_path"])
+        yield from _list_drops(payload, ["plans", i, "new_path"])
+        if float(plans[i].get("flow_size", 0.0)) not in (0.0, 1.0):
+            yield _set_value(payload, ["plans", i], "flow_size", 1.0)
+    for key in sorted(payload.get("capacities", {})):
+        out = _clone(payload)
+        del out["capacities"][key]
+        yield out
+
+
+def _chaos_candidates(payload: dict) -> Iterator[dict]:
+    campaign = payload.get("campaign", {})
+    yield from _list_drops(payload, ["campaign", "events"])
+    yield from _list_drops(payload, ["campaign", "message_faults"])
+    update_at = float(campaign.get("update_at_ms", 10.0))
+    yield from _halve(
+        payload, ["campaign"], "horizon_ms", floor=max(1000.0, 2.0 * update_at)
+    )
+    if int(campaign.get("seed", 0)) != 0:
+        yield _set_value(payload, ["campaign"], "seed", 0)
+    for key in ("unm_timeout_ms", "controller_update_timeout_ms"):
+        if float(campaign.get(key, 0.0)) != 0.0:
+            yield _set_value(payload, ["campaign"], key, 0.0)
+
+
+def _serve_candidates(payload: dict) -> Iterator[dict]:
+    serve = payload.get("serve", {})
+    yield from _list_drops(payload, ["serve", "events"])
+    yield from _halve(payload, ["serve"], "requests", floor=1.0, integer=True)
+    yield from _halve(payload, ["serve"], "flows", floor=1.0, integer=True)
+    yield from _halve(payload, ["serve"], "queue_depth", floor=1.0, integer=True)
+    yield from _halve(payload, ["serve"], "horizon_ms", floor=5000.0)
+    if int(serve.get("max_in_flight", 0)) != 0:
+        yield _set_value(payload, ["serve"], "max_in_flight", 0)
+    if float(serve.get("mean_flow_size", 1.0)) != 1.0:
+        yield _set_value(payload, ["serve"], "mean_flow_size", 1.0)
+    if str(serve.get("static_interference", "off")) != "off":
+        yield _set_value(payload, ["serve"], "static_interference", "off")
+    if int(serve.get("seed", 0)) != 0:
+        yield _set_value(payload, ["serve"], "seed", 0)
+
+
+def _divergence_candidates(payload: dict) -> Iterator[dict]:
+    if int(payload.get("seed", 0)) != 0:
+        yield _set_value(payload, [], "seed", 0)
+    yield from _halve(payload, ["params"], "max_sim_time_ms", floor=10000.0)

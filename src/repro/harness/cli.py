@@ -17,6 +17,9 @@ Commands regenerate individual experiments without pytest:
 * ``sweep`` — fleet orchestration: expand a declarative sweep spec
   into shards and execute them across worker processes with crash
   isolation, resume and a consolidated manifest (:mod:`repro.sweep`);
+* ``fuzz`` — coverage-guided scenario fuzzing: seeded campaigns
+  sharded through the sweep fleet, automatic shrinking, a committed
+  regression corpus with replay (:mod:`repro.fuzz`);
 * ``serve`` — the tenant-facing concurrent update-request service:
   admission control, dependency-aware orchestration and SLO metrics
   over the verified update path (:mod:`repro.serve`).
@@ -444,11 +447,13 @@ def main(argv=None) -> int:
     )
     from repro.analysis.cli import add_analyze_parser, cmd_analyze
     from repro.chaos.cli import add_chaos_parser, cmd_chaos
+    from repro.fuzz.cli import add_fuzz_parser, cmd_fuzz
     from repro.serve.cli import add_serve_parser, cmd_serve
     from repro.sweep.cli import add_sweep_parser, cmd_sweep
 
     add_analyze_parser(sub)
     add_chaos_parser(sub)
+    add_fuzz_parser(sub)
     add_serve_parser(sub)
     add_sweep_parser(sub)
     args = parser.parse_args(argv)
@@ -462,6 +467,7 @@ def main(argv=None) -> int:
         "obs": cmd_obs,
         "analyze": cmd_analyze,
         "chaos": cmd_chaos,
+        "fuzz": cmd_fuzz,
         "serve": cmd_serve,
         "sweep": cmd_sweep,
     }[args.command]

@@ -82,6 +82,26 @@ class ObsContext:
             out["profile"] = self.profiler.report(top=25)
         return out
 
+    def coverage_keys(self) -> list[str]:
+        """Names of every metric this run actually moved.
+
+        The fuzzer's coverage signal (:mod:`repro.fuzz.coverage`):
+        a counter/gauge with a nonzero value or a histogram with
+        samples counts as "touched".  Sorted, so callers get a
+        deterministic view regardless of recording order."""
+        if not self.enabled:
+            return []
+        touched = set()
+        for name, series in self.metrics.snapshot().items():
+            for row in series:
+                kind = row.get("type")
+                if kind in ("counter", "gauge"):
+                    if float(row.get("value", 0.0)) != 0.0:
+                        touched.add(name)
+                elif int(row.get("count", 0)) > 0:
+                    touched.add(name)
+        return sorted(touched)
+
 
 def make_obs(profile: bool = False, causal: bool = False) -> ObsContext:
     """A fresh enabled context (optionally with engine profiling

@@ -297,6 +297,34 @@ def aggregate_interference(shard_docs: list[dict]) -> dict:
     }
 
 
+def aggregate_fuzz(shard_docs: list[dict]) -> dict:
+    """Fleet view of fuzz shards: merged outcome counts, the union of
+    coverage keys, distinct finding keys, and contained crashes."""
+    ordered = sorted(shard_docs, key=lambda d: int(d["index"]))
+    outcomes: dict[str, int] = {}
+    coverage: set[str] = set()
+    finding_keys: set[tuple[str, ...]] = set()
+    crashes = 0
+    for doc in ordered:
+        results = doc["results"]
+        for outcome, count in (results.get("outcomes") or {}).items():
+            outcomes[outcome] = outcomes.get(outcome, 0) + int(count)
+        coverage.update(str(k) for k in results.get("coverage") or [])
+        for finding in results.get("findings") or []:
+            finding_keys.add(tuple(str(k) for k in finding.get("key") or []))
+        crashes += len(results.get("crashes") or [])
+    return {
+        "shards": len(ordered),
+        "cases": sum(int(d["results"].get("budget", 0)) for d in ordered),
+        "outcomes": dict(sorted(outcomes.items())),
+        "coverage_count": len(coverage),
+        "distinct_finding_keys": len(finding_keys),
+        "finding_keys": sorted(list(k) for k in finding_keys),
+        "crashes": crashes,
+        "clean": not finding_keys,
+    }
+
+
 def aggregate_prep(shard_docs: list[dict]) -> dict:
     """Per-topology Fig. 8 operation-count ratios."""
     ordered = sorted(shard_docs, key=lambda d: int(d["index"]))
@@ -343,6 +371,7 @@ def build_sweep_results(
         "serve": aggregate_serve,
         "prep": aggregate_prep,
         "interference": aggregate_interference,
+        "fuzz": aggregate_fuzz,
     }.get(spec.kind, aggregate_experiment)
     docs_with_keys = attach_shard_keys(spec, ordered)
     results: dict[str, Any] = {

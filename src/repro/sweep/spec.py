@@ -42,7 +42,7 @@ from typing import Any, Optional
 from repro.harness.experiment import SYSTEMS
 from repro.params import SimParams
 
-SWEEP_KINDS = ("experiment", "chaos", "serve", "prep", "interference")
+SWEEP_KINDS = ("experiment", "chaos", "serve", "prep", "interference", "fuzz")
 
 SCENARIO_KINDS = ("single", "multi")
 
@@ -112,6 +112,8 @@ class SweepSpec:
     # -- prep axes (kind "prep": one shard per topology) -------------------
     updates: int = 1000
     count_updates: int = 50
+    # -- fuzz axes (kind "fuzz": ``runs`` shards splitting the budget) -----
+    fuzz: Optional[dict] = None
     # -- instrumentation ---------------------------------------------------
     obs: bool = False
 
@@ -163,6 +165,17 @@ class SweepSpec:
                 load_serve_spec(dict(self.serve))
             except ServeSpecError as exc:
                 raise SweepSpecError(f"invalid serve spec: {exc}") from None
+        elif self.kind == "fuzz":
+            if self.fuzz is None:
+                raise SweepSpecError("fuzz sweep needs a 'fuzz' object")
+            if self.runs < 1:
+                raise SweepSpecError("fuzz sweep needs runs >= 1")
+            from repro.fuzz.campaign import FuzzSpecError, load_fuzz_spec
+
+            try:
+                load_fuzz_spec(dict(self.fuzz))
+            except FuzzSpecError as exc:
+                raise SweepSpecError(f"invalid fuzz spec: {exc}") from None
         else:  # prep
             for topology in self.topologies:
                 if topology not in SWEEP_TOPOLOGIES:
@@ -207,6 +220,8 @@ class SweepSpec:
             doc.update(campaign=dict(self.campaign or {}), runs=self.runs)
         elif self.kind in ("serve", "interference"):
             doc.update(serve=dict(self.serve or {}), seeds=list(self.seeds))
+        elif self.kind == "fuzz":
+            doc.update(fuzz=dict(self.fuzz or {}), runs=self.runs)
         else:  # prep
             doc.update(
                 topologies=list(self.topologies),
@@ -280,6 +295,25 @@ class SweepSpec:
                     "kind": self.kind,
                     "serve": serve,
                     "seed": seed,
+                    "obs": self.obs,
+                }
+                shards.append(self._shard(index, key, seed, payload))
+        elif self.kind == "fuzz":
+            from repro.fuzz.campaign import split_budget
+
+            fuzz = dict(self.fuzz or {})
+            budgets = split_budget(int(fuzz.get("budget", 1)), self.runs)
+            for index in range(self.runs):
+                key = {"shard": index, "fuzz": fuzz.get("name", self.name)}
+                seed = derive_shard_seed(
+                    self.seed, "fuzz", str(fuzz.get("name", self.name)), index
+                )
+                payload = {
+                    "kind": "fuzz",
+                    "fuzz": fuzz,
+                    "seed": seed,
+                    "shard_index": index,
+                    "budget": budgets[index],
                     "obs": self.obs,
                 }
                 shards.append(self._shard(index, key, seed, payload))

@@ -56,6 +56,8 @@ def run_shard_payload(payload: dict) -> dict:
         results = _run_prep_shard(payload)
     elif payload["kind"] == "interference":
         results = _run_interference_shard(payload)
+    elif payload["kind"] == "fuzz":
+        results = _run_fuzz_shard(payload)
     else:
         raise ValueError(f"unknown shard kind {payload['kind']!r}")
     duration = time.perf_counter() - started  # repro: ignore[wall-clock] shard wall-time bookkeeping
@@ -186,6 +188,20 @@ def _run_interference_shard(payload: dict) -> dict:
     spec = load_serve_spec(serve)
     report = analyze_serve_spec(spec)
     return dict(report.to_dict(), signature=report.signature())
+
+
+def _run_fuzz_shard(payload: dict) -> dict:
+    from repro.fuzz.campaign import run_fuzz_shard
+
+    # Each fuzz case resets global state and builds its own obs
+    # context internally; generator/oracle exceptions come back as
+    # structured crash records instead of failing the shard.
+    return run_fuzz_shard(
+        payload["fuzz"],
+        int(payload["seed"]),
+        int(payload["shard_index"]),
+        int(payload["budget"]),
+    )
 
 
 def _run_prep_shard(payload: dict) -> dict:

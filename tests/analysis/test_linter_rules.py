@@ -260,6 +260,7 @@ def test_suppression_comment_parsing():
 def test_rule_names_catalogue():
     assert rule_names() == [
         "blocking-in-service",
+        "fuzz-nondeterminism",
         "mutable-default",
         "set-iteration",
         "unguarded-obs",
@@ -435,3 +436,59 @@ def test_check_stale_opt_out():
         check_stale=False,
     )
     assert findings == []
+
+
+# -- fuzz-nondeterminism ------------------------------------------------------
+
+
+def test_fuzz_rule_fires_only_under_fuzz_paths():
+    code = """
+        import time
+        t = time.time()
+    """
+    inside = lint_source(
+        textwrap.dedent(code), path="src/repro/fuzz/gen.py"
+    )
+    outside = lint_source(
+        textwrap.dedent(code), path="src/repro/serve/service.py"
+    )
+    assert {f.rule for f in inside} == {"wall-clock", "fuzz-nondeterminism"}
+    assert {f.rule for f in outside} == {"wall-clock"}
+    fuzz_finding = next(
+        f for f in inside if f.rule == "fuzz-nondeterminism"
+    )
+    assert fuzz_finding.message.startswith("[wall-clock]")
+
+
+def test_fuzz_rule_covers_unseeded_rng_and_set_iteration():
+    code = """
+        import numpy as np
+
+        def pick(options):
+            np.random.shuffle(options)
+            for item in set(options):
+                yield item
+    """
+    findings = lint_source(
+        textwrap.dedent(code), path="src/repro/fuzz/gen.py"
+    )
+    fuzz = [f for f in findings if f.rule == "fuzz-nondeterminism"]
+    assert {f.message.split("]")[0] + "]" for f in fuzz} == {
+        "[unseeded-random]", "[set-iteration]",
+    }
+
+
+def test_fuzz_rule_registered():
+    assert "fuzz-nondeterminism" in rule_names()
+
+
+def test_fuzz_package_passes_its_own_lint():
+    import os
+
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    findings = lint_paths([os.path.join(root, "fuzz")])
+    assert findings == [], [
+        f"{f.path}:{f.line} {f.rule} {f.message}" for f in findings
+    ]

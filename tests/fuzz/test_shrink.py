@@ -1,0 +1,150 @@
+"""Shrinking properties: deterministic, monotone, failure-preserving."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.gen import canonical_payload, generate_case
+from repro.fuzz.oracles import classify, failure_key
+from repro.fuzz.shrink import numeric_mass, shrink_case, shrink_measure
+
+
+def _failing_plan_cases(count=3):
+    """The first ``count`` failing plan cases from a fixed seed."""
+    found = []
+    index = 0
+    while len(found) < count and index < 64:
+        case = generate_case(17, index, kinds=("plan",))
+        if classify(case).outcome != "pass":
+            found.append(case)
+        index += 1
+    assert len(found) == count
+    return found
+
+
+FAILING = _failing_plan_cases()
+
+
+def test_shrink_deterministic_for_fixed_input():
+    for case in FAILING:
+        a = shrink_case(case)
+        b = shrink_case(case)
+        assert canonical_payload(a.payload) == canonical_payload(b.payload)
+
+
+def test_shrink_measure_monotonically_non_increasing():
+    for case in FAILING:
+        trajectory = [shrink_measure(case.payload)]
+        shrink_case(
+            case, on_step=lambda c, v: trajectory.append(shrink_measure(c.payload))
+        )
+        sizes = [measure[0] for measure in trajectory]
+        assert sizes == sorted(sizes, reverse=True)
+        # The full measure strictly decreases at every accepted step —
+        # that is what guarantees termination.
+        assert all(
+            earlier > later
+            for earlier, later in zip(trajectory, trajectory[1:])
+        )
+
+
+def test_shrunken_case_still_fails_original_oracle():
+    for case in FAILING:
+        original_key = failure_key(case.kind, classify(case))
+        minimal = shrink_case(case)
+        assert failure_key(minimal.kind, classify(minimal)) == original_key
+
+
+def test_passing_case_returned_unchanged():
+    index = 0
+    while True:
+        case = generate_case(17, index, kinds=("plan",))
+        if classify(case).outcome == "pass":
+            break
+        index += 1
+    assert shrink_case(case) is case
+
+
+def test_shrink_respects_evaluation_budget():
+    case = FAILING[0]
+    calls = []
+
+    def counting(c):
+        calls.append(1)
+        return classify(c)
+
+    shrink_case(case, classifier=counting, max_evaluations=5)
+    # One classification for the original plus at most the budget.
+    assert len(calls) <= 6
+
+
+def test_shrink_of_serve_case():
+    # A serve congestion finding shrinks without changing its key.
+    index = 2
+    case = None
+    while index < 80:
+        candidate = generate_case(11, index, kinds=("serve",))
+        if classify(candidate).outcome != "pass":
+            case = candidate
+            break
+        index += 1
+    if case is None:  # no failing serve case at this seed: vacuous
+        return
+    minimal = shrink_case(case)
+    assert shrink_measure(minimal.payload) <= shrink_measure(case.payload)
+    assert failure_key(case.kind, classify(minimal)) == failure_key(
+        case.kind, classify(case)
+    )
+
+
+# -- pure-measure properties (hypothesis) ------------------------------------
+
+json_leaves = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+)
+json_values = st.recursive(
+    json_leaves,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=4), children, max_size=4),
+    ),
+    max_leaves=16,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(json_values)
+def test_numeric_mass_non_negative(value):
+    assert numeric_mass(value) >= 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(json_values, max_size=4))
+def test_numeric_mass_additive_over_lists(values):
+    assert numeric_mass(values) == sum(numeric_mass(v) for v in values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.dictionaries(st.text(max_size=4), json_values, max_size=4))
+def test_dropping_a_key_never_increases_the_measure(payload):
+    whole = shrink_measure(payload)
+    for key in payload:
+        smaller = {k: v for k, v in payload.items() if k != key}
+        assert shrink_measure(smaller) <= whole
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.dictionaries(st.text(max_size=4), json_values, max_size=4))
+def test_measure_size_component_is_canonical_length(payload):
+    assert shrink_measure(payload)[0] == len(
+        json.dumps(
+            json.loads(canonical_payload(payload)),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    )

@@ -142,3 +142,23 @@ def test_null_registry_is_inert():
     assert reg.snapshot() == {}
     # All no-op instruments are shared singletons: no allocation per call.
     assert reg.counter("x") is reg.counter("y", any_label=1)
+
+
+# -- coverage keys (the fuzzer's obs-derived coverage signal) -----------------
+
+
+def test_coverage_keys_lists_touched_metrics():
+    from repro.obs.context import NULL_OBS, make_obs
+
+    obs = make_obs()
+    obs.count("messages_sent", 3)
+    obs.count("never_moved", 0)
+    obs.observe("update_duration_ms", 12.5)
+    obs.gauge_set("queue_depth", 2.0)
+    keys = obs.coverage_keys()
+    assert keys == sorted(keys)
+    assert "messages_sent" in keys
+    assert "update_duration_ms" in keys
+    assert "queue_depth" in keys
+    assert "never_moved" not in keys
+    assert NULL_OBS.coverage_keys() == []
