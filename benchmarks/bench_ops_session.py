@@ -1,0 +1,80 @@
+"""Operations session — drain/migrate/rebalance under background churn.
+
+Runs the committed drain-smoke session (`examples/ops_drain.json`): a
+B4 switch is drained and restored under open-loop tenant churn and a
+mid-drain link failure, then tenant 1 migrates and the session
+rebalances.  Asserts the operational contract (clean drain, zero
+stranded moves, consistency) and that the revision-keyed shortest-path
+cache actually pays for itself during evacuation planning.
+
+The manifest pins the full results signature: any drift in the
+scheduler, the drain planner, or the path cache is a hard gate
+failure, not a perf regression.
+"""
+
+from benchutils import emit_manifest, print_header
+
+from repro.ops.session import run_session
+from repro.ops.spec import load_session_spec_file
+
+SPEC_PATH = "examples/ops_drain.json"
+
+
+def run_drain_session():
+    return run_session(load_session_spec_file(SPEC_PATH))
+
+
+def test_ops_drain_session(benchmark):
+    result = benchmark.pedantic(run_drain_session, rounds=1, iterations=1)
+    summary = result.ops_summary()
+    cache = result.path_cache
+
+    print_header("Ops session — drain + migrate + rebalance on B4 (drain-smoke)")
+    print(
+        f"requests={len(result.records):3d}  "
+        f"ops={summary['ops_total']}  moves={summary['moves_total']}  "
+        f"violations={len(result.violations)}"
+    )
+    for status, count in sorted(summary["ops_by_status"].items()):
+        print(f"  op:{status:<12s} {count}")
+    for outcome, count in sorted(summary["moves_by_outcome"].items()):
+        print(f"  move:{outcome:<10s} {count}")
+    print(
+        f"path cache: {cache['hits']:.0f} hit(s) / "
+        f"{cache['misses']:.0f} miss(es)  "
+        f"hit_rate={cache['hit_rate']:.3f}"
+    )
+    print(f"signature: {result.signature()}")
+
+    # Operational contract: every op completes, the drain evacuates
+    # everything, nothing is stranded, consistency holds throughout.
+    assert summary["ops_by_status"] == {"completed": 4}
+    assert summary["moves_by_outcome"].get("stranded", 0) == 0
+    assert summary["drains_clean"]
+    assert result.consistent and not result.violations
+    assert result.invariants_ok
+    # The revision-keyed path cache must land real hits while the
+    # drain/migrate/rebalance planners re-query evacuation routes.
+    assert cache["hits"] > 0
+    assert cache["hit_rate"] > 0.0
+
+    emit_manifest(
+        "ops_session",
+        params={"spec": SPEC_PATH, "seed": 1},
+        results={
+            "signature": result.signature(),
+            "trace_signature": result.trace_sig,
+            "requests": len(result.records),
+            "ops_by_status": dict(sorted(summary["ops_by_status"].items())),
+            "moves_by_outcome": dict(sorted(summary["moves_by_outcome"].items())),
+            "moves_total": summary["moves_total"],
+            "drains_clean": summary["drains_clean"],
+            "violations": len(result.violations),
+            "consistent": result.consistent,
+            "invariants_ok": result.invariants_ok,
+            "path_cache_hits": cache["hits"],
+            "path_cache_misses": cache["misses"],
+            "path_cache_hit_rate": round(cache["hit_rate"], 6),
+        },
+        seed=1,
+    )

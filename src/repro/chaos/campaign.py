@@ -122,6 +122,68 @@ class FaultCampaign:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
 
+class SpecTopologyError(ValueError):
+    """A spec addresses nodes that do not exist in its topology.
+
+    Structured: ``topology`` names the offending topology and
+    ``problems`` lists one human-readable line per bad reference, so
+    CLIs can fail fast with an actionable message instead of a
+    mid-run KeyError from deep inside the deployment."""
+
+    def __init__(self, topology: str, problems: list[str]) -> None:
+        self.topology = topology
+        self.problems = list(problems)
+        super().__init__(
+            f"unknown node reference(s) for topology {topology!r}: "
+            + "; ".join(self.problems)
+        )
+
+
+_TOPOLOGY_NODES: dict[str, frozenset[str]] = {}
+
+
+def topology_nodes(topology: str) -> frozenset[str]:
+    """Node names of a registered topology (cached: topologies are
+    deterministic per name, so the cache never goes stale)."""
+    cached = _TOPOLOGY_NODES.get(topology)
+    if cached is None:
+        from repro.chaos.runner import TOPOLOGIES
+
+        if topology not in TOPOLOGIES:
+            raise SpecTopologyError(
+                topology,
+                [f"unknown topology; expected one of {sorted(TOPOLOGIES)}"],
+            )
+        cached = frozenset(TOPOLOGIES[topology]().nodes)
+        _TOPOLOGY_NODES[topology] = cached
+    return cached
+
+
+def validate_events_against_topology(
+    events: tuple[TopoEvent, ...] | list[TopoEvent],
+    topology: str,
+    context: str = "events",
+) -> None:
+    """Fail fast when any event names a node absent from ``topology``.
+
+    :class:`TopoEvent` itself can only check shape (which fields are
+    required per kind); existence needs the topology, so campaign and
+    ops-session loaders call this at spec-load time.  Raises
+    :class:`SpecTopologyError` listing every bad reference at once."""
+    nodes = topology_nodes(topology)
+    problems = []
+    for i, event in enumerate(events):
+        for field in ("node_a", "node_b"):
+            name = getattr(event, field)
+            if name and name not in nodes:
+                problems.append(
+                    f"{context}[{i}] ({event.kind} at t={event.time_ms:g}): "
+                    f"{field}={name!r} is not a node"
+                )
+    if problems:
+        raise SpecTopologyError(topology, problems)
+
+
 def load_campaign(data: dict) -> FaultCampaign:
     """Build a campaign from a plain (JSON-decoded) dict."""
     payload = dict(data)
@@ -201,9 +263,12 @@ __all__ = [
     "FaultCampaign",
     "MESSAGE_SCOPES",
     "MessageFaultSpec",
+    "SpecTopologyError",
     "TOPO_EVENT_KINDS",
     "TopoEvent",
     "load_campaign",
     "load_campaign_file",
     "scope_selector",
+    "topology_nodes",
+    "validate_events_against_topology",
 ]

@@ -31,10 +31,27 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _load(path: str) -> Optional["FaultCampaign"]:
-    from repro.chaos.campaign import load_campaign_file
+    from repro.chaos.campaign import (
+        SpecTopologyError,
+        load_campaign_file,
+        validate_events_against_topology,
+    )
 
     try:
-        return load_campaign_file(path)
+        campaign = load_campaign_file(path)
+        validate_events_against_topology(
+            campaign.events, campaign.topology, context="events"
+        )
+        return campaign
+    except SpecTopologyError as exc:
+        print(
+            f"error: campaign {path!r}: unknown node reference(s) "
+            f"for topology {exc.topology!r}:",
+            file=sys.stderr,
+        )
+        for problem in exc.problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return None
     except (OSError, ValueError, TypeError, KeyError) as exc:
         print(f"error: cannot load campaign {path!r}: {exc}", file=sys.stderr)
         return None

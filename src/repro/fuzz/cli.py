@@ -239,7 +239,7 @@ def add_fuzz_parser(sub: argparse._SubParsersAction) -> None:
     prun.add_argument("--shards", type=int, default=None, help="shard count")
     prun.add_argument(
         "--kinds", default=None,
-        help="comma-separated case kinds (plan,chaos,serve,divergence)",
+        help="comma-separated case kinds (plan,chaos,serve,divergence,ops)",
     )
     prun.add_argument(
         "--workers", type=int, default=1,

@@ -17,6 +17,10 @@ cover the surfaces the paper's invariants protect:
   randomised admission, orchestration and capacity knobs.
 * ``divergence`` — one seeded scenario run under two systems
   (SL vs DL, or P4Update vs ez-Segway) whose results must agree.
+* ``ops`` — a :class:`~repro.ops.spec.SessionSpec` operations session:
+  background serve churn overlaid with a randomised timeline of
+  drain/undrain/migrate/rebalance operations (PR 9 oracles: the live
+  checker plus the move state machine's no-stranded-flows property).
 
 Everything is deterministic in ``(seed, index)``: every draw comes
 from ``numpy.random.default_rng([seed, index, lane, _FUZZ_STREAM])``
@@ -50,7 +54,7 @@ from repro.chaos.campaign import CORRUPTORS
 _FUZZ_STREAM = 0xF422
 
 #: Case kinds the generator knows how to build.
-FUZZ_KINDS = ("plan", "chaos", "serve", "divergence")
+FUZZ_KINDS = ("plan", "chaos", "serve", "divergence", "ops")
 
 #: Generation strategies for ``plan`` cases.
 PLAN_STRATEGIES = ("advgen-conflict", "advgen-disjoint", "random-mutated")
@@ -60,6 +64,7 @@ MUTATIONS = ("splice", "knob-perturb", "fault-insert", "plan-crossover")
 
 _CHAOS_TOPOLOGIES = ("fig1", "fig2", "b4")
 _SERVE_TOPOLOGIES = ("fig1", "b4")
+_OPS_TOPOLOGIES = ("fig1", "b4")
 _DIVERGENCE_TOPOLOGIES = ("fig1", "b4", "internet2")
 _SYSTEM_PAIRS = (
     ("p4update-sl", "p4update-dl"),
@@ -367,6 +372,83 @@ def gen_serve_case(rng: np.random.Generator) -> dict:
     return {"serve": serve}
 
 
+# -- ops cases ---------------------------------------------------------------
+
+
+def gen_ops_case(rng: np.random.Generator) -> dict:
+    topology = _pick(rng, _OPS_TOPOLOGIES)
+    nodes, edges = topology_material(topology)
+    horizon_ms = 20000.0
+    congestion_aware = bool(rng.random() < 0.5)
+    link_capacity = 0.0
+    if not congestion_aware and rng.random() < 0.7:
+        # Tight uniform capacity: rolling moves transiting hot links
+        # really overload them, which the live checker reports.
+        link_capacity = round(float(rng.uniform(1.0, 4.0)), 2)
+    serve: dict[str, Any] = {
+        "name": f"fuzz-{_seed32(rng)}",
+        "topology": topology,
+        "seed": _seed32(rng),
+        "mode": "open",
+        "flows": int(rng.integers(3, 8)),
+        "requests": int(rng.integers(6, 20)),
+        "arrival_rate_per_s": round(float(rng.uniform(20.0, 200.0)), 1),
+        "congestion_aware": congestion_aware,
+        "link_capacity": link_capacity,
+        "horizon_ms": horizon_ms,
+        "events": [],
+    }
+    if rng.random() < 0.5:
+        # The §11 controller watchdog: updates stuck on a failed link
+        # re-trigger instead of hanging until the horizon.
+        serve["params"] = {"controller_update_timeout_ms": 500.0}
+    if rng.random() < 0.4 and edges:
+        a, b = _pick(rng, edges)
+        down = round(float(rng.uniform(500.0, horizon_ms / 3.0)), 1)
+        serve["events"] = [
+            {"time_ms": down, "kind": "link_down", "node_a": a, "node_b": b},
+            {"time_ms": round(down + float(rng.uniform(500.0, 5000.0)), 1),
+             "kind": "link_up", "node_a": a, "node_b": b},
+        ]
+    tenants = int(rng.integers(2, 5))
+    timeline: list[dict] = []
+    for _ in range(int(rng.integers(1, 4))):
+        at_ms = round(float(rng.uniform(500.0, horizon_ms * 0.6)), 1)
+        op = _pick(rng, ("drain_switch", "migrate_tenant", "rebalance"))
+        if op == "drain_switch":
+            switch = _pick(rng, nodes)
+            timeline.append({"at_ms": at_ms, "op": "drain_switch",
+                             "switch": switch})
+            if rng.random() < 0.7:
+                timeline.append(
+                    {"at_ms": round(at_ms + float(rng.uniform(1000.0, 6000.0)), 1),
+                     "op": "undrain_switch", "switch": switch}
+                )
+        elif op == "migrate_tenant":
+            entry: dict[str, Any] = {
+                "at_ms": at_ms,
+                "op": "migrate_tenant",
+                "tenant": int(rng.integers(0, tenants)),
+            }
+            if rng.random() < 0.3:
+                entry["avoid"] = [_pick(rng, nodes)]
+            timeline.append(entry)
+        else:
+            timeline.append({"at_ms": at_ms, "op": "rebalance",
+                             "max_moves": int(rng.integers(1, 5))})
+    timeline.sort(key=lambda e: (float(e["at_ms"]), str(e["op"])))
+    ops: dict[str, Any] = {
+        "name": f"fuzz-{_seed32(rng)}",
+        "serve": serve,
+        "tenants": tenants,
+        "timeline": timeline,
+        # Checkpoint ticks are scheduled even without a sink, so this
+        # knob exercises the event-sequence-parity path too.
+        "checkpoint_every_ms": float(_pick(rng, (0.0, 5000.0))),
+    }
+    return {"ops": ops}
+
+
 # -- divergence cases --------------------------------------------------------
 
 
@@ -386,6 +468,7 @@ _GENERATORS = {
     "chaos": gen_chaos_case,
     "serve": gen_serve_case,
     "divergence": gen_divergence_case,
+    "ops": gen_ops_case,
 }
 
 
@@ -491,6 +574,32 @@ def _perturb_plan(base: dict, rng: np.random.Generator) -> dict:
     return out
 
 
+def _perturb_ops(base: dict, rng: np.random.Generator) -> dict:
+    out = copy.deepcopy(base)
+    ops = out["ops"]
+    serve = ops["serve"]
+    knob = _pick(rng, ("requests", "rate", "checkpoint", "watchdog", "seed"))
+    if knob == "requests":
+        serve["requests"] = max(1, min(48, int(serve["requests"]) * 2))
+    elif knob == "rate":
+        serve["arrival_rate_per_s"] = round(
+            float(serve["arrival_rate_per_s"]) * float(_pick(rng, (0.5, 2.0))), 1
+        )
+    elif knob == "checkpoint":
+        current = float(ops.get("checkpoint_every_ms", 0.0))
+        ops["checkpoint_every_ms"] = 5000.0 if current == 0.0 else 0.0
+    elif knob == "watchdog":
+        params = dict(serve.get("params", {}))
+        current = float(params.get("controller_update_timeout_ms", 0.0))
+        params["controller_update_timeout_ms"] = (
+            500.0 if current == 0.0 else 0.0
+        )
+        serve["params"] = params
+    else:
+        serve["seed"] = _seed32(rng)
+    return out
+
+
 def _perturb_divergence(base: dict, rng: np.random.Generator) -> dict:
     out = copy.deepcopy(base)
     knob = _pick(rng, ("seed", "pair", "congestion"))
@@ -517,8 +626,8 @@ def _fault_insert(base: dict, rng: np.random.Generator) -> dict:
             events = list(campaign.get("events", [])) + extra
             events.sort(key=lambda e: (float(e["time_ms"]), str(e["kind"])))
             campaign["events"] = events[:4]
-    elif "serve" in out:
-        serve = out["serve"]
+    elif "serve" in out or "ops" in out:
+        serve = out["serve"] if "serve" in out else out["ops"]["serve"]
         _, edges = topology_material(str(serve["topology"]))
         if edges:
             a, b = _pick(rng, edges)
@@ -545,9 +654,9 @@ def mutate_case(
     """
     same_kind_donor = donor if donor is not None and donor.kind == base.kind else None
     ops: list[str] = ["knob-perturb"]
-    if base.kind in ("chaos", "serve"):
+    if base.kind in ("chaos", "serve", "ops"):
         ops.append("fault-insert")
-        if same_kind_donor is not None:
+        if base.kind != "ops" and same_kind_donor is not None:
             ops.append("splice")
     if base.kind == "plan" and same_kind_donor is not None:
         ops.append("plan-crossover")
@@ -577,6 +686,7 @@ def mutate_case(
             "serve": _perturb_serve,
             "plan": _perturb_plan,
             "divergence": _perturb_divergence,
+            "ops": _perturb_ops,
         }[base.kind]
         payload = perturb(base.payload, rng)
 

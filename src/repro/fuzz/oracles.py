@@ -16,6 +16,11 @@ Each case kind maps onto oracles the repo already trusts:
 * ``divergence`` — the same seeded scenario executed under two
   systems (SL vs DL, P4Update vs ez-Segway); their completion and
   consistency verdicts must agree.
+* ``ops`` — a full :func:`~repro.ops.session.run_session` operations
+  session; live-checker violations, the record invariants audit, and
+  the move state machine's no-stranded-flows property (a flow a drain
+  or migration left in limbo is always a bug, whatever the topology
+  did meanwhile).
 
 Outcomes: ``pass`` (all checks hold), ``violation`` (an invariant was
 tripped), ``divergence`` (two oracles disagree), ``crash`` (a
@@ -116,6 +121,8 @@ def evaluate_case(case: FuzzCase) -> OracleVerdict:
         return _evaluate_chaos(case.payload)
     if case.kind == "serve":
         return _evaluate_serve(case.payload)
+    if case.kind == "ops":
+        return _evaluate_ops(case.payload)
     return _evaluate_divergence(case.payload)
 
 
@@ -289,6 +296,56 @@ def _evaluate_serve(payload: dict) -> OracleVerdict:
     return OracleVerdict(
         outcome="violation" if kinds else "pass",
         oracle="serve",
+        kinds=tuple(kinds),
+        coverage=tuple(sorted(set(coverage))),
+        detail=detail,
+    )
+
+
+# -- ops ---------------------------------------------------------------------
+
+
+def _evaluate_ops(payload: dict) -> OracleVerdict:
+    from repro.obs.context import make_obs
+    from repro.ops.session import run_session
+    from repro.ops.spec import load_session_spec
+
+    spec = load_session_spec(dict(payload["ops"]))
+    obs = make_obs()
+    result = run_session(spec, obs=obs)
+    summary = result.ops_summary()
+
+    kinds = sorted({f"ops:{v['kind']}" for v in result.violations})
+    if not result.invariants_ok:
+        kinds.append("ops:invariants")
+    if summary["moves_by_outcome"].get("stranded"):
+        # A move whose install completed but whose flow record never
+        # converged: the one outcome that is a bug by definition.
+        kinds.append("ops:stranded")
+    coverage = list(kinds)
+    for outcome_kind, count in sorted(result.outcome_counts.items()):
+        if count:
+            coverage.append(f"ops:outcome:{outcome_kind}")
+    for status, count in sorted(summary["ops_by_status"].items()):
+        if count:
+            coverage.append(f"ops:op:{status}")
+    for move_outcome, count in sorted(summary["moves_by_outcome"].items()):
+        if count:
+            coverage.append(f"ops:move:{move_outcome}")
+    if not summary["drains_clean"]:
+        coverage.append("ops:drain-dirty")
+    coverage.extend(obs_coverage_keys(obs))
+    detail = {
+        "requests": len(result.records),
+        "outcomes": dict(sorted(result.outcome_counts.items())),
+        "ops": summary,
+        "violations": len(result.violations),
+        "invariants_ok": result.invariants_ok,
+        "signature": result.signature(),
+    }
+    return OracleVerdict(
+        outcome="violation" if kinds else "pass",
+        oracle="ops",
         kinds=tuple(kinds),
         coverage=tuple(sorted(set(coverage))),
         detail=detail,

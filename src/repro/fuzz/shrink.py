@@ -119,6 +119,8 @@ def _candidates(kind: str, payload: dict) -> Iterator[dict]:
         yield from _chaos_candidates(payload)
     elif kind == "serve":
         yield from _serve_candidates(payload)
+    elif kind == "ops":
+        yield from _ops_candidates(payload)
     else:
         yield from _divergence_candidates(payload)
 
@@ -222,6 +224,28 @@ def _serve_candidates(payload: dict) -> Iterator[dict]:
         yield _set_value(payload, ["serve"], "static_interference", "off")
     if int(serve.get("seed", 0)) != 0:
         yield _set_value(payload, ["serve"], "seed", 0)
+
+
+def _ops_candidates(payload: dict) -> Iterator[dict]:
+    ops = payload.get("ops", {})
+    serve = ops.get("serve", {})
+    yield from _list_drops(payload, ["ops", "timeline"])
+    yield from _list_drops(payload, ["ops", "serve", "events"])
+    yield from _halve(payload, ["ops", "serve"], "requests", floor=1.0,
+                      integer=True)
+    yield from _halve(payload, ["ops", "serve"], "flows", floor=1.0,
+                      integer=True)
+    yield from _halve(payload, ["ops", "serve"], "horizon_ms", floor=5000.0)
+    if float(ops.get("checkpoint_every_ms", 0.0)) != 0.0:
+        yield _set_value(payload, ["ops"], "checkpoint_every_ms", 0.0)
+    params = serve.get("params", {})
+    if float(params.get("controller_update_timeout_ms", 0.0)) != 0.0:
+        yield _set_value(
+            payload, ["ops", "serve", "params"],
+            "controller_update_timeout_ms", 0.0,
+        )
+    if int(serve.get("seed", 0)) != 0:
+        yield _set_value(payload, ["ops", "serve"], "seed", 0)
 
 
 def _divergence_candidates(payload: dict) -> Iterator[dict]:

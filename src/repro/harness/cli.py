@@ -22,7 +22,10 @@ Commands regenerate individual experiments without pytest:
   regression corpus with replay (:mod:`repro.fuzz`);
 * ``serve`` — the tenant-facing concurrent update-request service:
   admission control, dependency-aware orchestration and SLO metrics
-  over the verified update path (:mod:`repro.serve`).
+  over the verified update path (:mod:`repro.serve`);
+* ``ops`` — live operations sessions over a running service: tenant
+  migration, rolling switch drains, capacity rebalancing, and signed
+  checkpoint/resume of the full simulator state (:mod:`repro.ops`).
 """
 
 from __future__ import annotations
@@ -448,12 +451,14 @@ def main(argv=None) -> int:
     from repro.analysis.cli import add_analyze_parser, cmd_analyze
     from repro.chaos.cli import add_chaos_parser, cmd_chaos
     from repro.fuzz.cli import add_fuzz_parser, cmd_fuzz
+    from repro.ops.cli import add_ops_parser, cmd_ops
     from repro.serve.cli import add_serve_parser, cmd_serve
     from repro.sweep.cli import add_sweep_parser, cmd_sweep
 
     add_analyze_parser(sub)
     add_chaos_parser(sub)
     add_fuzz_parser(sub)
+    add_ops_parser(sub)
     add_serve_parser(sub)
     add_sweep_parser(sub)
     args = parser.parse_args(argv)
@@ -468,6 +473,7 @@ def main(argv=None) -> int:
         "analyze": cmd_analyze,
         "chaos": cmd_chaos,
         "fuzz": cmd_fuzz,
+        "ops": cmd_ops,
         "serve": cmd_serve,
         "sweep": cmd_sweep,
     }[args.command]

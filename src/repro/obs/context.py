@@ -25,6 +25,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.causal import CausalTracker
 
 
+class EngineClock:
+    """Picklable ``() -> engine.now`` callable.
+
+    ``bind_engine`` used to install a lambda closing over the engine;
+    ops-session checkpoints pickle the whole object graph, and lambdas
+    cannot be pickled, so the clock is a tiny class instead."""
+
+    __slots__ = ("engine",)
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+
+    def __call__(self) -> float:
+        return float(self.engine.now)
+
+
 class ObsContext:
     """Bundle of a metrics registry, a span tracker, an optional
     engine profiler and an optional per-request causal tracker,
@@ -56,7 +72,7 @@ class ObsContext:
         install the profiler (if any).  No-op when disabled."""
         if not self.enabled:
             return
-        self.spans.sim_clock = lambda: engine.now
+        self.spans.sim_clock = EngineClock(engine)
         if self.profiler is not None:
             engine.set_profiler(self.profiler)
 

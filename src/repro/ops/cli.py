@@ -1,0 +1,397 @@
+"""The ``ops`` CLI subcommand: validate / run / checkpoint / resume / status.
+
+* ``ops validate <spec.json>`` — load a session spec (embedded serve
+  spec, timeline, topology-existence checks), print a summary, run
+  nothing; exits 1 with a structured error on bad node references.
+* ``ops run <spec.json>`` — execute one session inline with the
+  spec's own seed (optionally ``--manifest`` → ``BENCH_ops_<name>``).
+  With ``--seeds N`` the run fans out as N seeded sessions through
+  the sweep executor instead and writes ``BENCH_ops_fleet_<name>``
+  whose aggregate signature is worker-count independent.
+* ``ops checkpoint <spec.json> --dir D`` — run the session writing a
+  rolling sha256-signed checkpoint every ``checkpoint_every_ms`` of
+  simulated time; ``--stop-after N`` kills the run right after
+  checkpoint N (the resume drill's kill point).
+* ``ops resume --dir D`` — restore the latest (or ``--index``)
+  checkpoint and continue to the horizon, byte-identically to an
+  uninterrupted run; keeps checkpointing to the same directory.
+* ``ops status --dir D`` — inspect a checkpoint directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ops.session import OpsResult
+    from repro.ops.spec import SessionSpec
+
+
+def cmd_ops(args: argparse.Namespace) -> int:
+    handler = {
+        "validate": _cmd_validate,
+        "run": _cmd_run,
+        "checkpoint": _cmd_checkpoint,
+        "resume": _cmd_resume,
+        "status": _cmd_status,
+    }[args.ops_command]
+    return handler(args)
+
+
+def _load(path: str) -> Optional["SessionSpec"]:
+    from repro.chaos.campaign import SpecTopologyError
+    from repro.ops.spec import SessionSpecError, load_session_spec_file
+
+    try:
+        return load_session_spec_file(path)
+    except SpecTopologyError as exc:
+        print(
+            f"error: session {path!r}: unknown node reference(s) "
+            f"for topology {exc.topology!r}:",
+            file=sys.stderr,
+        )
+        for problem in exc.problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return None
+    except (OSError, SessionSpecError) as exc:
+        print(f"error: cannot load session spec {path!r}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    spec = _load(args.spec)
+    if spec is None:
+        return 1
+    serve = spec.serve_spec()
+    print(f"session spec {spec.name!r} is valid:")
+    print(f"  serve:      {serve.name!r} on {serve.topology}, "
+          f"{serve.requests} requests over {serve.flows} flows, "
+          f"horizon {serve.horizon_ms:.0f} ms")
+    print(f"  tenants:    {spec.tenants}")
+    print(f"  timeline:   {len(spec.timeline)} operation(s)")
+    for i, entry in enumerate(spec.timeline):
+        extra = {
+            k: v for k, v in entry.items() if k not in ("at_ms", "op")
+        }
+        detail = " ".join(f"{k}={v}" for k, v in sorted(extra.items()))
+        print(f"    [{i}] t={float(entry['at_ms']):g} ms {entry['op']}"
+              + (f" {detail}" if detail else ""))
+    cadence = spec.checkpoint_every_ms
+    print(f"  checkpoint: every {cadence:g} ms" if cadence > 0
+          else "  checkpoint: disabled")
+    print(f"  spec hash:  {spec.spec_hash()}")
+    return 0
+
+
+def _print_result(result: "OpsResult") -> bool:
+    results = result.to_results()
+    summary = results["ops_summary"]
+    print(f"signature {results['signature']}")
+    print(f"  requests:   {results['requests']} "
+          f"({results['completed']} completed)")
+    for outcome, count in results["outcomes"].items():
+        print(f"    {outcome:<12s} {count}")
+    print(f"  operations: {summary['ops_total']} "
+          f"({summary['moves_total']} move(s))")
+    for status, count in summary["ops_by_status"].items():
+        print(f"    {status:<12s} {count}")
+    for outcome, count in summary["moves_by_outcome"].items():
+        print(f"    move:{outcome:<7s} {count}")
+    print(f"  drains:     "
+          f"{'clean' if summary['drains_clean'] else 'STRANDED FLOWS'}")
+    print(f"  consistent: {results['consistent']} "
+          f"({len(results['violations'])} violation(s))")
+    print(f"  invariants: {'ok' if results['invariants_ok'] else 'BROKEN'}")
+    cache = results["path_cache"]
+    print(f"  path cache: {cache['hits']:.0f} hit(s) / "
+          f"{cache['misses']:.0f} miss(es)")
+    return bool(
+        results["consistent"]
+        and results["invariants_ok"]
+        and summary["drains_clean"]
+    )
+
+
+def _write_session_manifest(
+    spec: "SessionSpec", result: "OpsResult", out_dir: Optional[str]
+) -> None:
+    from repro.obs.manifest import write_manifest
+
+    path = write_manifest(
+        f"ops_{spec.name}",
+        params=spec.to_dict(),
+        results=result.to_results(),
+        seed=spec.serve_spec().seed,
+        out_dir=out_dir,
+    )
+    print(f"wrote {path}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load(args.spec)
+    if spec is None:
+        return 1
+    if args.seeds is not None:
+        return _run_fleet(spec, args)
+
+    from repro.obs import make_obs
+    from repro.ops.session import run_session
+
+    obs = make_obs() if args.obs else None
+    result = run_session(spec, obs=obs)
+    if args.manifest:
+        _write_session_manifest(spec, result, args.out_dir)
+    ok = _print_result(result)
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def _run_fleet(spec: "SessionSpec", args: argparse.Namespace) -> int:
+    from repro.obs import make_obs
+    from repro.obs.manifest import write_manifest
+    from repro.sweep.executor import run_sweep
+    from repro.sweep.merge import build_sweep_results
+    from repro.sweep.spec import load_sweep_spec
+
+    serve_seed = spec.serve_spec().seed
+    sweep = load_sweep_spec(
+        {
+            "name": spec.name,
+            "kind": "ops",
+            "seed": serve_seed,
+            "description": spec.description,
+            "seeds": args.seeds,
+            "ops": spec.to_dict(),
+            "obs": args.obs,
+        }
+    )
+    print(f"ops {spec.name!r}: {args.seeds} seeded session(s), "
+          f"{args.workers} worker(s)"
+          + (", resuming" if args.resume else ""))
+    obs = make_obs() if args.obs else None
+    run = run_sweep(
+        sweep,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        obs=obs,
+    )
+    for failure in run.failures:
+        print(
+            f"SHARD FAILURE {failure['shard_id']} "
+            f"({failure['attempts']} attempt(s)): "
+            f"{failure['error_type']}: {failure['message']}",
+            file=sys.stderr,
+        )
+    results = build_sweep_results(
+        sweep, run.shard_docs, run.failures, run.shards_total
+    )
+    path = write_manifest(
+        f"ops_fleet_{spec.name}",
+        params=sweep.to_dict(),
+        results=results,
+        seed=serve_seed,
+        obs=obs if obs is not None else None,
+        out_dir=args.out_dir,
+        merge=False,
+    )
+    aggregates = results["aggregates"]
+    print(f"wrote {path}")
+    print(f"signature {results['signature']}")
+    print(f"  requests:   {aggregates['requests']} "
+          f"({aggregates['completed']} completed)")
+    print(f"  operations: {aggregates['ops_by_status']}")
+    print(f"  moves:      {aggregates['moves_by_outcome']}")
+    print(f"  drains:     "
+          f"{'clean' if aggregates['drains_clean'] else 'STRANDED FLOWS'}")
+    print(f"  consistent: {aggregates['consistent']} "
+          f"({aggregates['violations']} violation(s))")
+    print(f"  deterministic per seed: {aggregates['deterministic']}")
+    ok = (
+        run.ok
+        and aggregates["consistent"]
+        and aggregates["invariants_ok"]
+        and aggregates["deterministic"]
+        and aggregates["drains_clean"]
+    )
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    spec = _load(args.spec)
+    if spec is None:
+        return 1
+    if spec.checkpoint_every_ms <= 0:
+        print(
+            f"error: session {spec.name!r} has checkpoint_every_ms=0; "
+            f"set a cadence to write checkpoints",
+            file=sys.stderr,
+        )
+        return 1
+
+    from repro.obs import make_obs
+    from repro.ops.checkpoint import CheckpointSink, StopSession
+    from repro.ops.session import build_session
+
+    obs = make_obs() if args.obs else None
+    session = build_session(spec, obs=obs)
+    session._sink = CheckpointSink(
+        args.dir, stop_after=args.stop_after, verbose=True
+    )
+    try:
+        session.run()
+    except StopSession as stop:
+        print(f"stopped after checkpoint {stop.index} "
+              f"(resume with: ops resume --dir {args.dir})")
+        return 0
+    result = session.finalize()
+    if args.manifest:
+        _write_session_manifest(spec, result, args.out_dir)
+    ok = _print_result(result)
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.ops.checkpoint import (
+        CheckpointError,
+        CheckpointSink,
+        StopSession,
+        load_checkpoint,
+    )
+
+    try:
+        session = load_checkpoint(args.dir, index=args.index)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"resumed {session.spec.name!r} from checkpoint "
+          f"{session.resumed_from} at t={session.engine.now:.1f} ms")
+    session._sink = CheckpointSink(
+        args.dir, stop_after=args.stop_after, verbose=True
+    )
+    try:
+        session.run()
+    except StopSession as stop:
+        print(f"stopped after checkpoint {stop.index} "
+              f"(resume with: ops resume --dir {args.dir})")
+        return 0
+    result = session.finalize()
+    if args.manifest:
+        _write_session_manifest(session.spec, result, args.out_dir)
+    ok = _print_result(result)
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.ops.checkpoint import CheckpointError, checkpoint_status
+
+    try:
+        status = checkpoint_status(args.dir)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"session:     {status['name']}")
+    print(f"spec hash:   {status['spec_hash']}")
+    print(f"checkpoints: {status['checkpoints']}")
+    if status["latest_index"] is not None:
+        print(f"latest:      index {status['latest_index']} "
+              f"at t={status['sim_time_ms']:.1f} ms")
+    for entry in status["entries"]:
+        print(f"  [{entry['index']}] t={entry['sim_time_ms']:.1f} ms "
+              f"{entry['file']} sha256={entry['sha256'][:16]}")
+    return 0
+
+
+def add_ops_parser(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "ops", help="live operations sessions: drain / migrate / rebalance "
+                    "with checkpoint + resume (repro.ops)"
+    )
+    ops_sub = parser.add_subparsers(dest="ops_command", required=True)
+
+    pval = ops_sub.add_parser("validate", help="validate a session spec")
+    pval.add_argument("spec", help="path to a session spec JSON file")
+
+    prun = ops_sub.add_parser(
+        "run", help="run one session inline, or a seeded fleet with --seeds"
+    )
+    prun.add_argument("spec", help="path to a session spec JSON file")
+    prun.add_argument(
+        "--seeds", type=int, default=None,
+        help="fan out as N seeded sessions via the sweep fleet "
+             "(default: one inline session with the spec's own seed)",
+    )
+    prun.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for fleet mode (default 1: serial)",
+    )
+    prun.add_argument(
+        "--resume", action="store_true",
+        help="fleet mode: reuse completed shards from the on-disk cache",
+    )
+    prun.add_argument(
+        "--cache-dir", default=None,
+        help="fleet mode: shard cache root (default .sweep_cache)",
+    )
+    prun.add_argument(
+        "--obs", action="store_true",
+        help="instrument with live metrics (ops moves, drain gauges)",
+    )
+    prun.add_argument(
+        "--manifest", action="store_true",
+        help="write BENCH_ops_<name>.json (inline mode; fleet mode "
+             "always writes BENCH_ops_fleet_<name>.json)",
+    )
+    prun.add_argument(
+        "--out-dir", default=None,
+        help="manifest directory (default: benchmarks/baselines)",
+    )
+
+    pckpt = ops_sub.add_parser(
+        "checkpoint",
+        help="run a session writing rolling signed checkpoints",
+    )
+    pckpt.add_argument("spec", help="path to a session spec JSON file")
+    pckpt.add_argument(
+        "--dir", required=True, help="checkpoint directory"
+    )
+    pckpt.add_argument(
+        "--stop-after", type=int, default=None,
+        help="halt the run right after this checkpoint index "
+             "(the kill point for resume drills)",
+    )
+    pckpt.add_argument("--obs", action="store_true",
+                       help="instrument with live metrics")
+    pckpt.add_argument("--manifest", action="store_true",
+                       help="write BENCH_ops_<name>.json when the run "
+                            "reaches its horizon")
+    pckpt.add_argument("--out-dir", default=None,
+                       help="manifest directory (default: benchmarks/baselines)")
+
+    pres = ops_sub.add_parser(
+        "resume", help="restore a checkpoint and continue to the horizon"
+    )
+    pres.add_argument("--dir", required=True, help="checkpoint directory")
+    pres.add_argument(
+        "--index", type=int, default=None,
+        help="checkpoint index to restore (default: latest)",
+    )
+    pres.add_argument(
+        "--stop-after", type=int, default=None,
+        help="halt again right after this checkpoint index",
+    )
+    pres.add_argument("--manifest", action="store_true",
+                      help="write BENCH_ops_<name>.json at the horizon")
+    pres.add_argument("--out-dir", default=None,
+                      help="manifest directory (default: benchmarks/baselines)")
+
+    pstat = ops_sub.add_parser(
+        "status", help="inspect a checkpoint directory"
+    )
+    pstat.add_argument("--dir", required=True, help="checkpoint directory")

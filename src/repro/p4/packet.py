@@ -9,11 +9,20 @@ deparser, and field writes are truncated to the declared bit width.
 from __future__ import annotations
 
 import copy
-import itertools
 from dataclasses import dataclass
 from typing import Any, Iterable
 
-_packet_ids = itertools.count(1)
+# Plain int, not itertools.count: the counter value must be observable
+# so session checkpoints (repro.sim.snapshot) can capture and restore
+# it exactly — a count() iterator can be neither read nor pickled.
+_next_packet_id = 1
+
+
+def _take_packet_id() -> int:
+    global _next_packet_id
+    value = _next_packet_id
+    _next_packet_id = value + 1
+    return value
 
 
 def reset_packet_ids() -> None:
@@ -23,8 +32,19 @@ def reset_packet_ids() -> None:
     up in traces; resetting before a run makes same-seed executions in
     one process produce bit-identical traces.
     """
-    global _packet_ids
-    _packet_ids = itertools.count(1)
+    global _next_packet_id
+    _next_packet_id = 1
+
+
+def capture_packet_ids() -> int:
+    """The next packet id to be issued (snapshot hook)."""
+    return _next_packet_id
+
+
+def restore_packet_ids(value: int) -> None:
+    """Restore the numbering captured by :func:`capture_packet_ids`."""
+    global _next_packet_id
+    _next_packet_id = int(value)
 
 
 @dataclass(frozen=True)
@@ -116,7 +136,7 @@ class Packet:
     """
 
     def __init__(self, payload: Any = None, ttl: int = 64) -> None:
-        self.packet_id = next(_packet_ids)
+        self.packet_id = _take_packet_id()
         self.headers: dict[str, Header] = {}
         self.payload = payload
         self.ttl = ttl

@@ -115,6 +115,11 @@ class ServiceOrchestrator:
         self.in_flight: dict[int, UpdateRequest] = {}
         self._busy_switches: dict[str, int] = {}
         self.peak_in_flight = 0
+        # Switches an operations session is draining: a queued toggle
+        # whose target path transits one of these is held (the pump
+        # re-evaluates on every release / undrain), so background
+        # churn never re-routes *onto* a switch being evacuated.
+        self.avoid_nodes: set[str] = set()
         # Static interference gate (spec.static_interference).  The
         # gate only *reads* orchestrator/controller state — no RNG, no
         # clock, no trace events — so a gated conflict-free run is
@@ -248,6 +253,25 @@ class ServiceOrchestrator:
     def _footprint(self, flow_id: int) -> frozenset[str]:
         return self.flows[flow_id].nodes()
 
+    def _toggle_target(self, flow_id: int) -> Optional[tuple[str, ...]]:
+        """The path the flow's next toggle would move onto (same rule
+        as ``_execute``), or None when the flow is gone."""
+        record = self.controller.flow_db.get(flow_id)
+        if record is None:
+            return None
+        flow = self.flows[flow_id]
+        if tuple(record.current_path) == flow.primary:
+            return flow.alternate
+        return flow.primary
+
+    def _blocked_by_avoid(self, flow_id: int) -> bool:
+        if not self.avoid_nodes:
+            return False
+        target = self._toggle_target(flow_id)
+        return target is not None and any(
+            n in self.avoid_nodes for n in target
+        )
+
     # -- static interference gate --------------------------------------------
 
     def _candidate_footprint(self, flow_id: int) -> Optional[PlanFootprint]:
@@ -316,6 +340,8 @@ class ServiceOrchestrator:
         if self.spec.switch_conflict == "serialize":
             if any(n in self._busy_switches for n in self._footprint(flow_id)):
                 return False
+        if self._blocked_by_avoid(flow_id):
+            return False
         return True
 
     def pump(self) -> None:
@@ -371,6 +397,8 @@ class ServiceOrchestrator:
         if self.spec.switch_conflict == "serialize":
             if any(n in self._busy_switches for n in self._footprint(flow_id)):
                 return "conflict_wait"
+        if self._blocked_by_avoid(flow_id):
+            return "conflict_wait"
         if self._gate == "serialize" and self._gate_conflicts(request):
             return "conflict_wait"
         return "queue_wait"

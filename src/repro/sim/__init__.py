@@ -16,6 +16,12 @@ from repro.sim.reset import (
     registered_resets,
     reset_global_state,
 )
+from repro.sim.snapshot import (
+    capture_global_state,
+    register_global_snapshot,
+    registered_snapshots,
+    restore_global_state,
+)
 
 __all__ = [
     "Engine",
@@ -31,4 +37,8 @@ __all__ = [
     "register_global_reset",
     "registered_resets",
     "reset_global_state",
+    "capture_global_state",
+    "register_global_snapshot",
+    "registered_snapshots",
+    "restore_global_state",
 ]

@@ -8,7 +8,6 @@ that runs are deterministic.
 from __future__ import annotations
 
 import heapq
-import itertools
 import time
 from typing import Any, Callable, Optional, Protocol
 
@@ -59,7 +58,10 @@ class Engine:
 
     def __init__(self) -> None:
         self._queue: list[Event] = []
-        self._counter = itertools.count()
+        # Plain int (not itertools.count): the sequence number is part
+        # of the snapshotable engine state (repro.sim.snapshot) and a
+        # count() iterator cannot be pickled.
+        self._seq = 0
         self._now = 0.0
         self._running = False
         self._processed = 0
@@ -98,7 +100,9 @@ class Engine:
         """
         if delay < 0:
             raise EngineError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self._now + delay, next(self._counter), callback, args)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(self._now + delay, seq, callback, args)
         heapq.heappush(self._queue, event)
         return event
 
@@ -166,3 +170,12 @@ class Engine:
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return sum(1 for e in self._queue if not e.cancelled)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # The profiler observes wall clock only and may hold callback
+        # references that do not pickle; snapshots never carry it (the
+        # resumed run can install a fresh one).
+        state["_profiler"] = None
+        state["_running"] = False
+        return state

@@ -1,0 +1,77 @@
+"""Capture/restore hooks for process-wide simulator state.
+
+:mod:`repro.sim.reset` resets the audited module-level counters to
+their fresh-interpreter values; this module is its checkpointing twin.
+An ops session snapshot (:mod:`repro.ops.checkpoint`) pickles the
+session object graph — engine queue, switches, NIB, Flow-DB,
+orchestrator, RNG streams — but module-level counters live *outside*
+that graph, so they are captured here as a small JSON-safe dict and
+restored before the resumed session takes its first step.  Without
+this, packet numbering (which leaks into trace ``describe()`` strings)
+would restart at 1 on resume and break the byte-identical-resume
+contract.
+
+New module-level counters must register a capture/restore pair with
+:func:`register_global_snapshot` next to their definition, in addition
+to their :func:`repro.sim.reset.register_global_reset` hook (the audit
+in ``tests/ops/test_snapshot.py`` pins that both registries cover the
+same names).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+_SNAPSHOT_HOOKS: list[tuple[str, Callable[[], Any], Callable[[Any], None]]] = []
+
+
+def register_global_snapshot(
+    name: str,
+    capture: Callable[[], Any],
+    restore: Callable[[Any], None],
+) -> None:
+    """Register a named capture/restore pair (idempotent per name).
+
+    ``capture()`` must return a JSON-safe value; ``restore(value)``
+    must accept exactly what ``capture`` returned.
+    """
+    for i, (existing, _, _) in enumerate(_SNAPSHOT_HOOKS):
+        if existing == name:
+            _SNAPSHOT_HOOKS[i] = (name, capture, restore)
+            return
+    _SNAPSHOT_HOOKS.append((name, capture, restore))
+
+
+def registered_snapshots() -> list[str]:
+    """Names of every registered hook, in registration order."""
+    _ensure_defaults()
+    return [name for name, _, _ in _SNAPSHOT_HOOKS]
+
+
+def capture_global_state() -> dict[str, Any]:
+    """Snapshot every registered module-level counter."""
+    _ensure_defaults()
+    return {name: capture() for name, capture, _ in _SNAPSHOT_HOOKS}
+
+
+def restore_global_state(state: dict[str, Any]) -> None:
+    """Restore the counters captured by :func:`capture_global_state`.
+
+    Raises ``KeyError`` when the snapshot is missing a registered
+    counter — a checkpoint from an older code revision must fail
+    loudly, not resume with half the process state.
+    """
+    _ensure_defaults()
+    for name, _, restore in _SNAPSHOT_HOOKS:
+        restore(state[name])
+
+
+def _ensure_defaults() -> None:
+    """Lazily register the audited built-in hooks (import-cycle-free)."""
+    if any(name == "p4.packet_ids" for name, _, _ in _SNAPSHOT_HOOKS):
+        return
+    from repro.p4.packet import capture_packet_ids, restore_packet_ids
+
+    register_global_snapshot(
+        "p4.packet_ids", capture_packet_ids, restore_packet_ids
+    )

@@ -265,6 +265,61 @@ def aggregate_serve(shard_docs: list[dict]) -> dict:
     }
 
 
+def aggregate_ops(shard_docs: list[dict]) -> dict:
+    """Fleet view of seeded operations sessions.
+
+    Serve-style determinism probe (per-seed signature sets must be
+    singletons regardless of worker count or resume rounds) plus the
+    ops ledger: statuses, move outcomes, and whether every completed
+    drain left its switch with zero transit flows."""
+    ordered = sorted(shard_docs, key=lambda d: int(d["index"]))
+    by_seed: dict[int, set[str]] = {}
+    outcomes: dict[str, int] = {}
+    ops_by_status: dict[str, int] = {}
+    moves_by_outcome: dict[str, int] = {}
+    drains_clean = True
+    for doc in ordered:
+        results = doc["results"]
+        by_seed.setdefault(int(doc["seed"]), set()).add(
+            str(results.get("signature"))
+        )
+        for outcome, count in (results.get("outcomes") or {}).items():
+            outcomes[outcome] = outcomes.get(outcome, 0) + int(count)
+        summary = results.get("ops_summary") or {}
+        for status, count in (summary.get("ops_by_status") or {}).items():
+            ops_by_status[status] = ops_by_status.get(status, 0) + int(count)
+        for outcome, count in (summary.get("moves_by_outcome") or {}).items():
+            moves_by_outcome[outcome] = (
+                moves_by_outcome.get(outcome, 0) + int(count)
+            )
+        if not summary.get("drains_clean", True):
+            drains_clean = False
+    return {
+        "runs": len(ordered),
+        "deterministic": all(len(sigs) <= 1 for sigs in by_seed.values()),
+        "signatures_by_seed": {
+            str(seed): sorted(sigs) for seed, sigs in sorted(by_seed.items())
+        },
+        "outcomes": dict(sorted(outcomes.items())),
+        "requests": sum(
+            int(d["results"].get("requests", 0)) for d in ordered
+        ),
+        "completed": sum(
+            int(d["results"].get("completed", 0)) for d in ordered
+        ),
+        "violations": sum(
+            len(d["results"].get("violations") or []) for d in ordered
+        ),
+        "consistent": all(d["results"].get("consistent") for d in ordered),
+        "invariants_ok": all(
+            d["results"].get("invariants_ok") for d in ordered
+        ),
+        "ops_by_status": dict(sorted(ops_by_status.items())),
+        "moves_by_outcome": dict(sorted(moves_by_outcome.items())),
+        "drains_clean": drains_clean,
+    }
+
+
 def aggregate_interference(shard_docs: list[dict]) -> dict:
     """Fleet view of static interference shards.
 
@@ -372,6 +427,7 @@ def build_sweep_results(
         "prep": aggregate_prep,
         "interference": aggregate_interference,
         "fuzz": aggregate_fuzz,
+        "ops": aggregate_ops,
     }.get(spec.kind, aggregate_experiment)
     docs_with_keys = attach_shard_keys(spec, ordered)
     results: dict[str, Any] = {

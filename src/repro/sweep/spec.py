@@ -42,7 +42,9 @@ from typing import Any, Optional
 from repro.harness.experiment import SYSTEMS
 from repro.params import SimParams
 
-SWEEP_KINDS = ("experiment", "chaos", "serve", "prep", "interference", "fuzz")
+SWEEP_KINDS = (
+    "experiment", "chaos", "serve", "prep", "interference", "fuzz", "ops",
+)
 
 SCENARIO_KINDS = ("single", "multi")
 
@@ -109,6 +111,8 @@ class SweepSpec:
     runs: int = 1
     # -- serve axes (kind "serve": one shard per entry of ``seeds``) -------
     serve: Optional[dict] = None
+    # -- ops axes (kind "ops": one session shard per ``seeds`` entry) ------
+    ops: Optional[dict] = None
     # -- prep axes (kind "prep": one shard per topology) -------------------
     updates: int = 1000
     count_updates: int = 50
@@ -165,6 +169,17 @@ class SweepSpec:
                 load_serve_spec(dict(self.serve))
             except ServeSpecError as exc:
                 raise SweepSpecError(f"invalid serve spec: {exc}") from None
+        elif self.kind == "ops":
+            if self.ops is None:
+                raise SweepSpecError("ops sweep needs an 'ops' object")
+            if not self.seeds:
+                raise SweepSpecError("ops sweep has an empty seeds axis")
+            from repro.ops.spec import SessionSpecError, load_session_spec
+
+            try:
+                load_session_spec(dict(self.ops))
+            except SessionSpecError as exc:
+                raise SweepSpecError(f"invalid ops spec: {exc}") from None
         elif self.kind == "fuzz":
             if self.fuzz is None:
                 raise SweepSpecError("fuzz sweep needs a 'fuzz' object")
@@ -220,6 +235,8 @@ class SweepSpec:
             doc.update(campaign=dict(self.campaign or {}), runs=self.runs)
         elif self.kind in ("serve", "interference"):
             doc.update(serve=dict(self.serve or {}), seeds=list(self.seeds))
+        elif self.kind == "ops":
+            doc.update(ops=dict(self.ops or {}), seeds=list(self.seeds))
         elif self.kind == "fuzz":
             doc.update(fuzz=dict(self.fuzz or {}), runs=self.runs)
         else:  # prep
@@ -294,6 +311,27 @@ class SweepSpec:
                 payload = {
                     "kind": self.kind,
                     "serve": serve,
+                    "seed": seed,
+                    "obs": self.obs,
+                }
+                shards.append(self._shard(index, key, seed, payload))
+        elif self.kind == "ops":
+            # Same contract as serve fleets: one session per seeds
+            # entry, each with a derived workload seed (kind-tagged so
+            # ops and serve fleets with the same spec seed never share
+            # RNG streams by accident).
+            ops = dict(self.ops or {})
+            serve = dict(ops.get("serve") or {})
+            topology = serve.get("topology", "b4")
+            for index, seed_index in enumerate(self.seeds):
+                key = {
+                    "seed_index": seed_index,
+                    "session": ops.get("name", self.name),
+                }
+                seed = derive_shard_seed(self.seed, "ops", topology, seed_index)
+                payload = {
+                    "kind": "ops",
+                    "ops": ops,
                     "seed": seed,
                     "obs": self.obs,
                 }

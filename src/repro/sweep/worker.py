@@ -52,6 +52,8 @@ def run_shard_payload(payload: dict) -> dict:
         results = _run_chaos_shard(payload, obs)
     elif payload["kind"] == "serve":
         results = _run_serve_shard(payload, obs)
+    elif payload["kind"] == "ops":
+        results = _run_ops_shard(payload, obs)
     elif payload["kind"] == "prep":
         results = _run_prep_shard(payload)
     elif payload["kind"] == "interference":
@@ -174,6 +176,21 @@ def _run_serve_shard(payload: dict, obs: Optional[Any]) -> dict:
     serve["seed"] = int(payload["seed"])
     spec = load_serve_spec(serve)
     result = run_service(spec, obs=obs)
+    return result.to_results()
+
+
+def _run_ops_shard(payload: dict, obs: Optional[Any]) -> dict:
+    from repro.ops.session import run_session
+    from repro.ops.spec import load_session_spec
+
+    ops = dict(payload["ops"])
+    serve = dict(ops.get("serve") or {})
+    # Same seed override as serve shards: the embedded serve spec's
+    # seed is replaced by the derived shard seed.
+    serve["seed"] = int(payload["seed"])
+    ops["serve"] = serve
+    spec = load_session_spec(ops)
+    result = run_session(spec, obs=obs)
     return result.to_results()
 
 

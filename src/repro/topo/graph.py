@@ -48,11 +48,22 @@ class Topology:
         self.graph = nx.Graph()
         self.coordinates = dict(coordinates or {})
         self.controller: Optional[str] = None
+        # Path cache, keyed on the mutation revision: every structural
+        # change bumps ``_revision``; lookups lazily discard entries
+        # cached under an older revision.  Drain/migrate/rebalance ops
+        # recompute the same (src, dst) pairs constantly — without the
+        # cache every probe is a full Dijkstra.
+        self._revision = 0
+        self._path_cache: dict[tuple, list[str]] = {}
+        self._path_cache_revision = 0
+        self.path_cache_hits = 0
+        self.path_cache_misses = 0
 
     # -- construction ------------------------------------------------------
 
     def add_node(self, node: str, lat: Optional[float] = None, lon: Optional[float] = None) -> None:
         self.graph.add_node(node)
+        self._revision += 1
         if lat is not None and lon is not None:
             self.coordinates[node] = (lat, lon)
 
@@ -70,6 +81,7 @@ class Topology:
         if latency_ms <= 0:
             raise ValueError(f"non-positive latency on edge ({a!r}, {b!r})")
         self.graph.add_edge(a, b, latency_ms=latency_ms, capacity=capacity)
+        self._revision += 1
 
     def _geo_latency(self, a: str, b: str) -> float:
         try:
@@ -140,8 +152,65 @@ class Topology:
 
     # -- latency-weighted paths ---------------------------------------------------
 
+    @property
+    def revision(self) -> int:
+        """Monotonic structural-mutation counter (cache key)."""
+        return self._revision
+
+    def invalidate_path_cache(self) -> None:
+        """Force-drop cached paths (call after mutating ``.graph``
+        directly, bypassing :meth:`add_node`/:meth:`add_edge`)."""
+        self._revision += 1
+
+    def _cached_path(self, key: tuple, compute) -> list[str]:
+        if self._path_cache_revision != self._revision:
+            self._path_cache.clear()
+            self._path_cache_revision = self._revision
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            self.path_cache_hits += 1
+            return list(cached)
+        self.path_cache_misses += 1
+        path = compute()
+        self._path_cache[key] = path
+        return list(path)
+
+    def path_cache_stats(self) -> dict[str, float]:
+        """Hits/misses/hit-rate since construction (ops bench probe)."""
+        total = self.path_cache_hits + self.path_cache_misses
+        return {
+            "hits": self.path_cache_hits,
+            "misses": self.path_cache_misses,
+            "hit_rate": (self.path_cache_hits / total) if total else 0.0,
+        }
+
     def shortest_path(self, src: str, dst: str) -> list[str]:
-        return nx.shortest_path(self.graph, src, dst, weight="latency_ms")
+        return self._cached_path(
+            (src, dst),
+            lambda: nx.shortest_path(self.graph, src, dst, weight="latency_ms"),
+        )
+
+    def shortest_path_avoiding(
+        self, src: str, dst: str, avoid: frozenset[str]
+    ) -> list[str]:
+        """Latency-shortest path whose transit nodes skip ``avoid``.
+
+        ``src``/``dst`` may not be in ``avoid``.  Raises
+        :class:`networkx.NetworkXNoPath` when avoidance disconnects the
+        pair — callers (drain/migrate) treat that as "park, don't move".
+        """
+        if src in avoid or dst in avoid:
+            raise nx.NetworkXNoPath(
+                f"endpoint of ({src!r}, {dst!r}) is in the avoid set"
+            )
+        if not avoid:
+            return self.shortest_path(src, dst)
+
+        def compute() -> list[str]:
+            view = nx.restricted_view(self.graph, avoid, [])
+            return nx.shortest_path(view, src, dst, weight="latency_ms")
+
+        return self._cached_path((src, dst, tuple(sorted(avoid))), compute)
 
     def path_latency(self, path: list[str]) -> float:
         return sum(self.latency(a, b) for a, b in zip(path, path[1:]))

@@ -162,6 +162,7 @@ def load_graphml(
     if topo.graph.number_of_nodes() and not nx.is_connected(topo.graph):
         largest = max(nx.connected_components(topo.graph), key=len)
         topo.graph.remove_nodes_from(set(topo.graph) - largest)
+        topo.invalidate_path_cache()
     topo.validate()
     return topo
 

@@ -26,8 +26,14 @@ def test_generate_case_deterministic():
 
 
 def test_generate_case_cycles_kinds():
-    kinds = [generate_case(0, i).kind for i in range(8)]
+    kinds = [generate_case(0, i).kind for i in range(2 * len(FUZZ_KINDS))]
     assert kinds == list(FUZZ_KINDS) * 2
+
+
+def _indices_of(kind: str, count: int = 4) -> list[int]:
+    """Campaign indices that generate ``kind`` cases."""
+    start = FUZZ_KINDS.index(kind)
+    return [start + i * len(FUZZ_KINDS) for i in range(count)]
 
 
 def test_generate_case_respects_kind_subset():
@@ -59,7 +65,7 @@ def test_payloads_are_json_safe():
 def test_chaos_payload_loads_as_campaign():
     from repro.chaos.campaign import load_campaign
 
-    for index in (1, 5, 9, 13):
+    for index in _indices_of("chaos"):
         case = generate_case(5, index)
         assert case.kind == "chaos"
         campaign = load_campaign(case.payload["campaign"])
@@ -69,7 +75,7 @@ def test_chaos_payload_loads_as_campaign():
 def test_serve_payload_loads_as_spec():
     from repro.serve.spec import load_serve_spec
 
-    for index in (2, 6, 10, 14):
+    for index in _indices_of("serve"):
         case = generate_case(5, index)
         assert case.kind == "serve"
         spec = load_serve_spec(dict(case.payload["serve"]))
@@ -79,16 +85,26 @@ def test_serve_payload_loads_as_spec():
 def test_plan_payload_loads_as_plans():
     from repro.analysis.plan import plan_from_dict
 
-    for index in (0, 4, 8, 12):
+    for index in _indices_of("plan"):
         case = generate_case(5, index)
         assert case.kind == "plan"
         plans = [plan_from_dict(doc) for doc in case.payload["plans"]]
         assert plans and all(p.installs for p in plans)
 
 
+def test_ops_payload_loads_as_session_spec():
+    from repro.ops.spec import load_session_spec
+
+    for index in _indices_of("ops"):
+        case = generate_case(5, index)
+        assert case.kind == "ops"
+        spec = load_session_spec(dict(case.payload["ops"]))
+        assert spec.timeline  # every generated session has operations
+
+
 def test_mutations_deterministic_and_kind_preserving():
     base = generate_case(9, 0)
-    donor = generate_case(9, 4)
+    donor = generate_case(9, len(FUZZ_KINDS))
     assert base.kind == donor.kind == "plan"
     for lane in range(6):
         rng_a = case_rng(9, 100 + lane, lane=1)
@@ -102,9 +118,9 @@ def test_mutations_deterministic_and_kind_preserving():
 
 def test_mutation_ops_cover_every_kind():
     seen = set()
-    for index in range(4):
+    for index in range(len(FUZZ_KINDS)):
         base = generate_case(13, index)
-        donor = generate_case(13, index + 4)
+        donor = generate_case(13, index + len(FUZZ_KINDS))
         for lane in range(12):
             rng = case_rng(13, 200 + lane, lane=1)
             mutated = mutate_case(base, donor, rng, 200 + lane)

@@ -1,0 +1,68 @@
+"""The global-state snapshot registry and its audit.
+
+The byte-identical-resume contract depends on every module-level
+counter being both resettable (fresh runs) and snapshottable
+(checkpoint/restore).  The audit here pins the two registries to the
+same name set, so a counter added to one but not the other fails CI
+instead of silently breaking resume.
+"""
+
+import pytest
+
+from repro.sim.reset import registered_resets, reset_global_state
+from repro.sim.snapshot import (
+    capture_global_state,
+    register_global_snapshot,
+    registered_snapshots,
+    restore_global_state,
+)
+
+
+def test_snapshot_registry_covers_every_reset_hook():
+    # A counter that resets but does not snapshot would silently
+    # renumber after resume; one that snapshots but never resets would
+    # leak across fresh runs.  Both registries must agree.
+    assert set(registered_snapshots()) == set(registered_resets())
+
+
+def test_capture_restore_round_trip():
+    reset_global_state()
+    baseline = capture_global_state()
+    assert set(baseline) == set(registered_snapshots())
+
+    # Burn some packet ids, capture, burn more, then restore: the
+    # capture must bring the counter back exactly.
+    from repro.p4.packet import Packet
+
+    Packet()
+    mid = capture_global_state()
+    Packet()
+    Packet()
+    restore_global_state(mid)
+    assert capture_global_state() == mid
+
+
+def test_restore_rejects_missing_counter():
+    reset_global_state()
+    state = capture_global_state()
+    state.pop("p4.packet_ids")
+    with pytest.raises(KeyError):
+        restore_global_state(state)
+
+
+def test_register_is_idempotent_per_name():
+    before = registered_snapshots()
+    calls = []
+    register_global_snapshot("test.temp", lambda: 1, lambda v: calls.append(v))
+    register_global_snapshot("test.temp", lambda: 2, lambda v: calls.append(v))
+    try:
+        assert registered_snapshots().count("test.temp") == 1
+        assert capture_global_state()["test.temp"] == 2  # latest wins
+    finally:
+        from repro.sim import snapshot as snapshot_mod
+
+        snapshot_mod._SNAPSHOT_HOOKS[:] = [
+            hook for hook in snapshot_mod._SNAPSHOT_HOOKS
+            if hook[0] != "test.temp"
+        ]
+    assert registered_snapshots() == before

@@ -1,0 +1,72 @@
+"""Ops fleets: worker-count-independent signatures and aggregation."""
+
+import json
+
+from repro.sweep.executor import run_sweep
+from repro.sweep.merge import build_sweep_results, shard_deterministic_view
+from repro.sweep.spec import load_sweep_spec
+
+OPS_SWEEP = {
+    "name": "ops-fleet",
+    "kind": "ops",
+    "seed": 7,
+    "seeds": 2,
+    "ops": {
+        "name": "fleet-session",
+        "serve": {
+            "name": "bg",
+            "topology": "b4",
+            "seed": 0,  # overridden per shard with the derived seed
+            "flows": 6,
+            "requests": 12,
+            "mode": "open",
+            "arrival_rate_per_s": 30.0,
+            "horizon_ms": 8000.0,
+        },
+        "tenants": 2,
+        "timeline": [
+            {"at_ms": 1500.0, "op": "drain_switch", "switch": "council-ia"},
+            {"at_ms": 5000.0, "op": "undrain_switch", "switch": "council-ia"},
+        ],
+    },
+}
+
+
+def _spec(**overrides):
+    return load_sweep_spec(dict(json.loads(json.dumps(OPS_SWEEP)), **overrides))
+
+
+def test_expansion_derives_one_shard_per_seed():
+    shards = _spec().expand()
+    assert len(shards) == 2
+    seeds = [s.payload["seed"] for s in shards]
+    assert len(set(seeds)) == 2
+    for shard in shards:
+        assert shard.payload["kind"] == "ops"
+        assert shard.key["seed_index"] in (0, 1)
+
+
+def test_serial_and_pool_ops_signatures_match(tmp_path):
+    spec = _spec()
+    serial = run_sweep(spec, workers=1, cache_dir=str(tmp_path / "serial"))
+    pooled = run_sweep(spec, workers=2, cache_dir=str(tmp_path / "pooled"))
+    assert serial.ok and pooled.ok
+    assert serial.signature() == pooled.signature()
+    for a, b in zip(serial.shard_docs, pooled.shard_docs):
+        assert shard_deterministic_view(a) == shard_deterministic_view(b)
+
+
+def test_aggregate_ops_summarises_fleet(tmp_path):
+    spec = _spec()
+    run = run_sweep(spec, workers=1, cache_dir=str(tmp_path))
+    results = build_sweep_results(
+        spec, run.shard_docs, run.failures, run.shards_total
+    )
+    agg = results["aggregates"]
+    assert agg["deterministic"] is True
+    assert agg["runs"] == 2
+    assert set(agg["signatures_by_seed"]) == {
+        str(s.payload["seed"]) for s in spec.expand()
+    }
+    assert agg["ops_by_status"].get("completed", 0) >= 1
+    assert "drains_clean" in agg

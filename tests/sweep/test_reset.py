@@ -4,9 +4,12 @@ The sweep's per-process determinism rests on one claim: the only
 module-level mutable counter in ``src/repro`` is the packet-id stream
 in ``repro.p4.packet`` (everything else — metric registries, engine
 event counters, baseline sequence numbers — is instance state, rebuilt
-per deployment).  These tests pin the claim and the reset registry's
-behaviour so a future module-level counter must register a hook here
-or fail the audit."""
+per deployment).  Since the ops checkpointing work that stream is a
+plain int with reset *and* snapshot hooks: ``itertools.count``
+iterators can be neither observed nor pickled, so the audit now bans
+them outright — a counter must be a readable value registered with
+both ``repro.sim.register_global_reset`` and
+``repro.sim.snapshot.register_global_snapshot``."""
 
 import glob
 import os
@@ -31,15 +34,16 @@ _COUNTER_PATTERN = re.compile(
 )
 
 
-def test_packet_ids_is_the_only_module_level_counter():
+def test_no_module_level_count_iterators():
     offenders = {}
     for path in glob.glob(os.path.join(SRC, "**", "*.py"), recursive=True):
         hits = _COUNTER_PATTERN.findall(open(path, encoding="utf-8").read())
         if hits:
             offenders[os.path.relpath(path, SRC)] = hits
-    assert set(offenders) == {os.path.join("p4", "packet.py")}, (
-        "new module-level counter(s) found — register a reset hook via "
-        f"repro.sim.register_global_reset and extend this audit: {offenders}"
+    assert not offenders, (
+        "module-level itertools.count found — checkpointable counters "
+        "must be plain values with reset + snapshot hooks (see "
+        f"repro.p4.packet._next_packet_id for the shape): {offenders}"
     )
 
 
